@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark runs the corresponding ``repro.harness.figures`` entry
+point exactly once under pytest-benchmark (pedantic mode: these are
+minutes-scale simulations, not microbenchmarks), prints the paper-vs-
+measured report, and asserts the qualitative shape the paper reports.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure function once and return its report."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.text)
+        return result
+
+    return runner

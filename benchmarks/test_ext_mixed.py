@@ -1,0 +1,20 @@
+"""Extension bench: mixed class-0 / class-1 NF deployment."""
+
+from repro.harness import extensions
+
+
+def test_ext_mixed_deployment(run_once):
+    report = run_once(extensions.ext_mixed_deployment, ring_size=512)
+    rows = {r["policy"]: r for r in report.rows}
+    base, ours = rows["ddio"], rows["idio"]
+
+    # Under IDIO only the class-1 firewall's payload bypasses the caches:
+    # 512 packets x 15 payload lines from one core.
+    assert ours["direct_dram_wr"] == 512 * 15
+    assert base["direct_dram_wr"] == 0
+
+    # The shared LLC is cleaner under IDIO, and neither app's average
+    # latency regresses.
+    assert ours["llc_wb"] < base["llc_wb"]
+    assert ours["touchdrop_avg_us"] <= base["touchdrop_avg_us"] * 1.02
+    assert ours["firewall_avg_us"] <= base["firewall_avg_us"] * 1.02

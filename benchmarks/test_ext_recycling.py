@@ -1,0 +1,28 @@
+"""Extension bench: §II-B buffer recycling modes under DDIO and IDIO."""
+
+from repro.harness import extensions
+
+
+def test_ext_recycling_modes(run_once):
+    report = run_once(extensions.ext_recycling_modes, ring_size=512)
+
+    def row(policy, mode):
+        for r in report.rows:
+            if r["policy"] == policy and r["mode"] == mode:
+                return r
+        raise AssertionError(f"missing {policy}/{mode}")
+
+    # Copy mode roughly doubles the core-side memory traffic of in-place
+    # processing (it touches the DMA lines and the copy).
+    rtc = row("ddio", "run_to_completion")
+    copy = row("ddio", "copy")
+    assert copy["core_accesses"] > rtc["core_accesses"] * 1.7
+    assert copy["burst_time_us"] > rtc["burst_time_us"]
+
+    # All modes complete and IDIO's self-invalidation keeps helping in
+    # every recycling model (its M1 applies to all three, §IV-A).
+    for mode in ("run_to_completion", "copy", "reallocate"):
+        base = row("ddio", mode)
+        ours = row("idio", mode)
+        assert ours["llc_wb"] <= base["llc_wb"]
+        assert ours["mlc_wb"] <= base["mlc_wb"]

@@ -1,0 +1,30 @@
+"""Extension bench: steady-load saturation sweep (drops vs offered rate)."""
+
+from repro.harness import extensions
+
+
+def test_ext_saturation_sweep(run_once):
+    rates = (10.0, 12.0, 14.0, 16.0, 20.0)
+    report = run_once(extensions.ext_saturation, rates_gbps=rates)
+
+    def row(policy, rate):
+        for r in report.rows:
+            if r["policy"] == policy and r["rate_gbps"] == rate:
+                return r
+        raise AssertionError(f"missing {policy}@{rate}")
+
+    # Paper §VI/§VII: no drops at 10 Gbps per core, drops appear past
+    # ~12 Gbps under the baseline.
+    assert row("ddio", 10.0)["drops"] == 0
+    assert row("ddio", 20.0)["drops"] > 0
+
+    # IDIO's faster per-packet processing raises the lossless rate: at
+    # every offered load its drop rate is at most the baseline's.
+    for rate in rates:
+        assert row("idio", rate)["drop_pct"] <= row("ddio", rate)["drop_pct"] + 0.1
+
+    # And somewhere in the sweep IDIO strictly beats DDIO on drops.
+    assert any(
+        row("idio", rate)["drops"] < row("ddio", rate)["drops"]
+        for rate in rates[1:]
+    )

@@ -1,0 +1,28 @@
+"""Extension bench: IDIO under Poisson arrivals and IMIX packet sizes."""
+
+from repro.harness import extensions
+
+
+def test_ext_traffic_realism(run_once):
+    report = run_once(extensions.ext_traffic_realism, duration_us=1500.0)
+
+    def row(traffic, policy):
+        for r in report.rows:
+            if r["traffic"] == traffic and r["policy"] == policy:
+                return r
+        raise AssertionError(f"missing {traffic}/{policy}")
+
+    for traffic in ("steady", "poisson", "imix"):
+        base = row(traffic, "ddio")
+        ours = row(traffic, "idio")
+        # The same packets must be delivered under both policies.
+        assert ours["rx"] == base["rx"], traffic
+        # IDIO's writeback elimination survives stochastic traffic.
+        assert ours["mlc_wb"] <= base["mlc_wb"], traffic
+        assert ours["llc_wb"] <= base["llc_wb"], traffic
+        # Tail latency does not regress.
+        assert ours["p99_us"] <= base["p99_us"] * 1.05, traffic
+
+    # Poisson queueing variance lifts the tail relative to clocked
+    # arrivals at the same average load (sanity of the generator).
+    assert row("poisson", "ddio")["p99_us"] >= row("steady", "ddio")["p99_us"]

@@ -1,0 +1,39 @@
+"""Fig. 4: MLC and DRAM leaks vs load level and DMA ring size (DDIO)."""
+
+from repro.harness import figures
+
+
+def test_fig4_leaks(run_once):
+    report = run_once(
+        figures.fig4,
+        ring_sizes=(64, 1024, 2048),
+        max_duration_us=20_000.0,
+    )
+
+    def row(load, ring, one_way=False):
+        for r in report.rows:
+            if r["load"] == load and r["ring"] == ring and r["one_way"] == one_way:
+                return r
+        raise AssertionError(f"missing row {load}/{ring}/{one_way}")
+
+    # Paper shape 1: ring 64 -> low MLC WB rate, high invalidation rate.
+    small = row("high", 64)
+    assert small["mlc_wb_per_rx_line"] < 0.1
+    assert small["mlc_inval_per_rx_line"] > 0.5
+
+    # Paper shape 2: ring 1024 -> substantial MLC WB rate (paper: ~1.5x RX;
+    # we reproduce the order of magnitude) at medium and high load.
+    for load in ("med", "high"):
+        big = row(load, 1024)
+        assert big["mlc_wb_per_rx_line"] > 0.4, (load, big)
+
+    # Paper shape 3: _1way at high load -> higher DRAM write BW than the
+    # unrestricted configuration.  The paper reports 12.3x at ring 1024
+    # but only 1.7x at ring 2048 (the bigger ring already spills without
+    # the partition), so the required factor differs per ring.
+    for ring, factor in ((1024, 3.0), (2048, 1.3)):
+        free = row("high", ring)
+        restricted = row("high", ring, one_way=True)
+        assert restricted["dram_write_gbps"] > max(
+            factor * free["dram_write_gbps"], 1.0
+        ), (ring, free["dram_write_gbps"], restricted["dram_write_gbps"])

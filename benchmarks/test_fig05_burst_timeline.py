@@ -1,0 +1,31 @@
+"""Fig. 5: MLC/LLC writeback timeline over bursty traffic (DDIO)."""
+
+from repro.harness import figures
+from repro.sim import units
+
+
+def test_fig5_burst_timeline(run_once):
+    report = run_once(figures.fig5, ring_size=1024, num_bursts=3)
+    result = report.results["ddio"]
+
+    # Both phases produce writebacks.
+    assert result.window.mlc_writebacks > 0
+    assert result.window.llc_writebacks > 0
+
+    # Paper shape: LLC writebacks concentrate in the DMA phase (the burst
+    # transfer window), MLC writebacks in the execution phase.  Check that
+    # LLC WB activity starts before MLC WB activity peaks for each burst.
+    llc_tl = result.timeline("llc_writebacks")
+    mlc_tl = result.timeline("mlc_writebacks")
+    first_llc = next((t for t, v in llc_tl if v > 0), None)
+    peak_mlc_t = max(mlc_tl, key=lambda tv: tv[1])[0]
+    assert first_llc is not None
+    assert first_llc <= peak_mlc_t
+
+    # Three bursts at a 10 ms period: writeback activity appears in all
+    # three burst windows.
+    for burst in range(3):
+        start = units.milliseconds(10 * burst)
+        end = start + units.milliseconds(3)
+        count = result.server.stats.events.count_between("mlc_writebacks", start, end)
+        assert count > 0, f"no MLC WBs in burst {burst}"

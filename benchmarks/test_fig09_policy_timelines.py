@@ -1,0 +1,37 @@
+"""Fig. 9: per-policy MLC/LLC writeback timelines at 100/25 Gbps bursts."""
+
+from repro.harness import figures
+
+
+def test_fig9_policy_timelines(run_once):
+    report = run_once(figures.fig9, burst_rates=(100.0, 25.0), ring_size=1024)
+
+    def stats(policy, rate):
+        for r in report.rows:
+            if r["policy"] == policy and r["rate_gbps"] == rate:
+                return r
+        raise AssertionError(f"missing {policy}@{rate}")
+
+    for rate in (100.0, 25.0):
+        base = stats("ddio", rate)
+        inval = stats("invalidate", rate)
+        pref = stats("prefetch", rate)
+        static = stats("static", rate)
+        idio = stats("idio", rate)
+
+        # Fig. 9c/d: self-invalidation removes (almost all) MLC WBs but
+        # alone does not shorten the burst.
+        assert inval["mlc_wb"] < base["mlc_wb"] * 0.1
+        # Fig. 9e/f: prefetching shortens the burst but keeps MLC WBs.
+        assert pref["burst_time_us"] < base["burst_time_us"]
+        # Fig. 9g-j: combined configs beat DDIO on LLC WBs and burst time.
+        assert static["llc_wb"] < base["llc_wb"]
+        assert idio["llc_wb"] < base["llc_wb"]
+        assert idio["burst_time_us"] < base["burst_time_us"]
+
+    # Fig. 9g vs 9i at 100 Gbps: dynamic IDIO regulates MLC pressure that
+    # Static lets overshoot.
+    assert stats("idio", 100.0)["mlc_wb"] <= stats("static", 100.0)["mlc_wb"]
+    # At 25 Gbps Static and IDIO behave the same (paper: "no difference").
+    s25, i25 = stats("static", 25.0), stats("idio", 25.0)
+    assert abs(s25["mlc_wb"] - i25["mlc_wb"]) <= max(100, 0.3 * (s25["mlc_wb"] + 1))

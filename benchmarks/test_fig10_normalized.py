@@ -1,0 +1,49 @@
+"""Fig. 10: normalized transaction counts and burst processing time."""
+
+from repro.harness import figures
+
+
+def test_fig10_normalized(run_once):
+    report = run_once(
+        figures.fig10,
+        burst_rates=(100.0, 25.0, 10.0),
+        ring_size=1024,
+        include_static=True,
+        include_corun=True,
+    )
+
+    def row(scenario, policy, rate):
+        for r in report.rows:
+            if (
+                r["scenario"] == scenario
+                and r["policy"] == policy
+                and r["rate_gbps"] == rate
+            ):
+                return r
+        raise AssertionError(f"missing {scenario}/{policy}/{rate}")
+
+    # Solo IDIO: every statistic at or below DDIO at every rate.
+    for rate in (100.0, 25.0, 10.0):
+        r = row("solo", "idio", rate)
+        for key in ("mlc_writebacks", "llc_writebacks", "dram_writes"):
+            assert r[key] <= 1.0, (rate, key, r[key])
+        assert r["exe_time"] <= 1.02, (rate, r["exe_time"])
+
+    # Paper: burst time improves at 100 and 25 Gbps but NOT at 10 Gbps
+    # (packets are not queued at 10 Gbps).
+    assert row("solo", "idio", 100.0)["exe_time"] < 0.95
+    assert row("solo", "idio", 25.0)["exe_time"] < 0.90
+    assert row("solo", "idio", 10.0)["exe_time"] > 0.97
+
+    # Paper: IDIO nearly eliminates DRAM write bandwidth at 25 Gbps.
+    assert row("solo", "idio", 25.0)["dram_writes"] < 0.2
+
+    # Co-run: burst time still improves (paper: 10.9% / 20.8%).
+    assert row("corun", "idio", 100.0)["exe_time"] < 0.97
+    assert row("corun", "idio", 25.0)["exe_time"] < 0.92
+
+    # Co-run: the antagonist is not slowed down by IDIO (paper: its CPI
+    # improves 16.8-22.1%).
+    for rate in (100.0, 25.0):
+        ratio = row("corun", "idio", rate).get("antagonist_access_ratio")
+        assert ratio is not None and ratio <= 1.02, (rate, ratio)

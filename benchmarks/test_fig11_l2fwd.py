@@ -1,0 +1,41 @@
+"""Fig. 11: L2Fwd (shallow, zero-copy) timelines plus the class-1 variant."""
+
+from repro.harness import figures
+
+
+def test_fig11_l2fwd(run_once):
+    report = run_once(
+        figures.fig11,
+        burst_rate_gbps=100.0,
+        ring_size=1024,
+        packet_bytes=1024,
+        include_payload_drop=True,
+    )
+
+    def row(name):
+        for r in report.rows:
+            if r["config"] == name:
+                return r
+        raise AssertionError(f"missing {name}")
+
+    base = row("ddio")
+    ours = row("idio")
+    pd = row("idio-payload-drop")
+
+    # Paper: under DDIO there is almost no MLC activity (only headers and
+    # descriptors move through the MLC) but LLC writebacks build up.
+    assert base["mlc_wb"] <= base["tx_packets"] * 3
+    assert base["llc_wb"] > 0
+
+    # Paper: IDIO admits data to the idle MLC and invalidates after the
+    # forward completes -> far fewer LLC writebacks.
+    assert ours["llc_wb"] < base["llc_wb"] * 0.6
+
+    # Both configurations forward every packet.
+    assert base["tx_packets"] == ours["tx_packets"] == 2048
+
+    # Paper (direct DRAM variant): payload is written straight to DRAM at
+    # ~RX bandwidth; LLC writebacks vanish.
+    payload_lines_per_pkt = 1024 // 64 - 1
+    assert pd["direct_dram_wr"] == 2048 * payload_lines_per_pkt
+    assert pd["llc_wb"] < 100

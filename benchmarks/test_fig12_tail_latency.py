@@ -1,0 +1,36 @@
+"""Fig. 12: 50th/99th percentile TouchDrop latency, solo and co-run."""
+
+from repro.harness import figures
+
+
+def test_fig12_tail_latency(run_once):
+    report = run_once(
+        figures.fig12,
+        burst_rates=(100.0, 25.0, 10.0),
+        ring_size=1024,
+        include_corun=True,
+    )
+
+    def row(scenario, rate):
+        for r in report.rows:
+            if r["scenario"] == scenario and r["rate_gbps"] == rate:
+                return r
+        raise AssertionError(f"missing {scenario}/{rate}")
+
+    # IDIO never worsens p99 (paper: reductions at every rate).
+    for scenario in ("solo", "corun"):
+        for rate in (100.0, 25.0, 10.0):
+            r = row(scenario, rate)
+            assert r["idio_p99_us"] <= r["ddio_p99_us"] * 1.02, (scenario, rate)
+
+    # Paper shape: the biggest p99 cut is at 25 Gbps (30.5% solo, 32%
+    # co-run; abstract headline "up to 38%").
+    cuts = {rate: row("solo", rate)["p99_reduction_pct"] for rate in (100.0, 25.0, 10.0)}
+    assert cuts[25.0] >= cuts[100.0]
+    assert cuts[25.0] >= cuts[10.0]
+    assert cuts[25.0] > 15.0
+
+    # p50 also improves where queueing happens (100/25 Gbps).
+    for rate in (100.0, 25.0):
+        r = row("solo", rate)
+        assert r["idio_p50_us"] < r["ddio_p50_us"]

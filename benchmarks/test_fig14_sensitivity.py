@@ -1,0 +1,27 @@
+"""Fig. 14: sensitivity of IDIO to the mlcTHR threshold value."""
+
+from repro.harness import figures
+
+
+def test_fig14_mlcthr_sensitivity(run_once):
+    report = run_once(
+        figures.fig14,
+        thresholds_mtps=(10.0, 25.0, 50.0, 75.0, 100.0),
+        burst_rate_gbps=100.0,
+        ring_size=1024,
+    )
+
+    # Paper: IDIO consistently improves the statistics regardless of the
+    # threshold value — every sweep point must beat DDIO on LLC WBs and
+    # DRAM writes and not regress burst time.
+    assert len(report.rows) == 5
+    for r in report.rows:
+        assert r["llc_writebacks"] < 1.0, r
+        assert r["dram_writes"] < 1.0, r
+        assert r["mlc_writebacks"] < 1.0, r
+        assert r["exe_time"] < 1.0, r
+
+    # "Not overly sensitive": the spread of the normalized burst time
+    # across thresholds stays small.
+    exe = [r["exe_time"] for r in report.rows]
+    assert max(exe) - min(exe) < 0.15

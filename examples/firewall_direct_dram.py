@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Selective direct DRAM access for a header-only firewall (IDIO M3).
+
+The paper's class-1 example is a DoS-detection firewall: it inspects
+packet headers and almost never the payload, so payload cachelines have a
+very long use distance and only pollute the LLC.  Senders mark such flows
+via the DSCP field; IDIO's classifier propagates the class through the
+TLP reserved bits, and the controller writes the payload straight to
+DRAM while keeping headers on the fast cache path.
+
+This example runs the header-only L2FwdPayloadDrop function (class 1)
+under DDIO and IDIO and shows where the payload bytes end up.
+
+Run:  python examples/firewall_direct_dram.py
+"""
+
+from repro import Experiment, ServerConfig, run_experiment
+from repro.core import ddio, idio
+from repro.harness.report import format_table
+
+
+def run_firewall(policy):
+    experiment = Experiment(
+        name=f"firewall-{policy.name}",
+        server=ServerConfig(
+            app="l2fwd-payload-drop",  # header-inspecting, class-1 NF
+            ring_size=1024,
+            packet_bytes=1024,
+        ),
+        traffic="bursty",
+        burst_rate_gbps=100.0,
+    )
+    return run_experiment(experiment.with_policy(policy))
+
+
+def main() -> None:
+    print("Running header-only firewall under DDIO ...")
+    base = run_firewall(ddio())
+    print("Running header-only firewall under IDIO (direct DRAM for payload) ...")
+    ours = run_firewall(idio())
+
+    rows = []
+    for name, r in (("DDIO", base), ("IDIO", ours)):
+        counters = r.server.stats.counters
+        rows.append(
+            [
+                name,
+                r.completed,
+                counters.get("ddio_allocations") + counters.get("ddio_updates"),
+                counters.get("direct_dram_writes"),
+                r.window.llc_writebacks,
+                r.window.dram_writes,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "packets",
+                "lines via LLC (DDIO path)",
+                "lines direct to DRAM",
+                "LLC writebacks",
+                "DRAM writes",
+            ],
+            rows,
+            title="Class-1 firewall, 1024 B packets, 100 Gbps burst",
+        )
+    )
+    print()
+    print(
+        "Under IDIO the payload (15 of 16 lines per packet) bypasses the\n"
+        "cache hierarchy entirely: DRAM writes ~= RX payload bandwidth and\n"
+        "the LLC stays clean for the headers and co-running applications.\n"
+        "Headers still ride the DDIO path and are prefetched to the MLC:",
+    )
+    print("  IDIO decisions:", ours.decisions)
+
+
+if __name__ == "__main__":
+    main()

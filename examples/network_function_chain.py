@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Mixed network-function deployment with an LLC-hungry co-tenant.
+
+This example reproduces the paper's motivating server scenario: latency-
+critical network functions share a socket with a cache-hungry analytics
+job (the LLCAntagonist).  It runs TouchDrop + antagonist under DDIO and
+IDIO across burst rates and shows both sides of the isolation story:
+
+* the network functions' burst processing time and tail latency, and
+* the antagonist's average memory access latency (its CPI proxy).
+
+Run:  python examples/network_function_chain.py
+"""
+
+from repro import Experiment, ServerConfig, run_experiment
+from repro.core import ddio, idio
+from repro.harness.metrics import reduction_percent
+from repro.harness.report import format_table
+from repro.sim import units
+
+
+def run_corun(policy, burst_rate_gbps: float):
+    experiment = Experiment(
+        name=f"corun-{policy.name}-{burst_rate_gbps:g}g",
+        server=ServerConfig(
+            app="touchdrop",
+            ring_size=1024,
+            antagonist=True,
+            antagonist_buffer_bytes=2 * 1024 * 1024,
+        ),
+        traffic="bursty",
+        burst_rate_gbps=burst_rate_gbps,
+    )
+    return run_experiment(experiment.with_policy(policy))
+
+
+def main() -> None:
+    rows = []
+    for rate in (100.0, 25.0):
+        print(f"Running co-run scenario at {rate:g} Gbps ...")
+        base = run_corun(ddio(), rate)
+        ours = run_corun(idio(), rate)
+        rows.append(
+            [
+                f"{rate:g} Gbps",
+                units.to_microseconds(base.burst_processing_time),
+                units.to_microseconds(ours.burst_processing_time),
+                reduction_percent(
+                    base.burst_processing_time, ours.burst_processing_time
+                ),
+                base.p99_ns / 1000.0,
+                ours.p99_ns / 1000.0,
+                base.antagonist_access_ns,
+                ours.antagonist_access_ns,
+                reduction_percent(base.antagonist_access_ns, ours.antagonist_access_ns),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "burst rate",
+                "DDIO burst us",
+                "IDIO burst us",
+                "burst cut %",
+                "DDIO p99 us",
+                "IDIO p99 us",
+                "DDIO antag ns",
+                "IDIO antag ns",
+                "antag cut %",
+            ],
+            rows,
+            title="TouchDrop + LLCAntagonist co-run (paper Fig. 10/12 scenario)",
+        )
+    )
+    print()
+    print(
+        "Paper reference points: co-run burst time improves 10.9% (100G) /"
+        " 20.8% (25G); the antagonist's CPI improves 16.8-22.1%."
+    )
+
+
+if __name__ == "__main__":
+    main()

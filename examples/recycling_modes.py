@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare the three buffer-recycling models of §II-B.
+
+The paper classifies how software recycles NIC/CPU shared buffers:
+
+* **run-to-completion** (DPDK): process packets in place, free the DMA
+  buffer afterwards — the mode every headline experiment uses;
+* **copy** (Linux stack): copy each packet out of the ring and process
+  the copy — the DMA buffer is dead right after the first touch;
+* **re-allocate**: stash filled buffers and replenish the ring from a
+  mempool — the live DMA footprint doubles.
+
+This example runs TouchDrop in each mode under DDIO and IDIO and shows
+how the recycling model changes the memory-hierarchy traffic and how
+IDIO's self-invalidating buffers help in all three (the invalidation
+point just moves: after processing, after the copy, or after the
+deferred consume).
+
+Run:  python examples/recycling_modes.py
+"""
+
+from repro import Experiment, ServerConfig, run_experiment
+from repro.core import ddio, idio
+from repro.harness.report import format_table
+from repro.sim import units
+
+
+def run_mode(policy, mode: str):
+    experiment = Experiment(
+        name=f"recycle-{policy.name}-{mode}",
+        server=ServerConfig(
+            app="touchdrop",
+            ring_size=512,
+            recycle_mode=mode,
+        ),
+        traffic="bursty",
+        burst_rate_gbps=50.0,
+    )
+    return run_experiment(experiment.with_policy(policy))
+
+
+def main() -> None:
+    rows = []
+    for policy in (ddio(), idio()):
+        for mode in ("run_to_completion", "copy", "reallocate"):
+            print(f"Running {policy.name} / {mode} ...")
+            r = run_mode(policy, mode)
+            rows.append(
+                [
+                    policy.name,
+                    mode,
+                    r.window.mlc_writebacks,
+                    r.window.llc_writebacks,
+                    r.window.dram_writes,
+                    sum(c.stats.mem_accesses for c in r.server.cores),
+                    units.to_microseconds(r.burst_processing_time),
+                ]
+            )
+
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "recycle mode",
+                "MLC WB",
+                "LLC WB",
+                "DRAM writes",
+                "core accesses",
+                "burst time (us)",
+            ],
+            rows,
+            title="TouchDrop, 50 Gbps burst, 512-entry rings",
+        )
+    )
+    print()
+    print(
+        "Things to notice:\n"
+        " * copy mode roughly doubles the core's memory accesses (it\n"
+        "   touches both the DMA lines and the copy destination);\n"
+        " * re-allocate mode cycles through twice the buffer addresses,\n"
+        "   growing the DMA footprint in the cache hierarchy;\n"
+        " * IDIO's self-invalidation removes the dead-buffer writebacks\n"
+        "   in every recycling model."
+    )
+
+
+if __name__ == "__main__":
+    main()

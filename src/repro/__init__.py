@@ -1,0 +1,62 @@
+"""repro — a Python reproduction of IDIO (MICRO 2022).
+
+IDIO extends DDIO — the technology that lands inbound network DMA in the
+last-level cache — with network-driven orchestration across the whole
+hierarchy: self-invalidating I/O buffers, burst-triggered MLC prefetching,
+and selective direct DRAM access.  This package implements the full system
+stack the paper evaluates (non-inclusive cache hierarchy, NIC with Flow
+Director, PCIe TLP metadata transport, DPDK-style polling network
+functions) as a discrete-event simulation, plus the harness reproducing
+every figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import Experiment, ServerConfig, run_experiment
+    from repro.core import ddio, idio
+
+    exp = Experiment(server=ServerConfig(app="touchdrop", ring_size=1024),
+                     burst_rate_gbps=25.0)
+    base = run_experiment(exp.with_policy(ddio()))
+    ours = run_experiment(exp.with_policy(idio()))
+    print(ours.normalized_to(base))
+"""
+
+from . import core, cpu, harness, mem, net, nic, pcie, sim
+from .core import IDIOConfig, IDIOController, PolicyConfig, all_policies
+from .harness import (
+    Experiment,
+    ExperimentResult,
+    ServerConfig,
+    SimulatedServer,
+    run_experiment,
+    run_policy_comparison,
+)
+from .mem import HierarchyConfig, MemoryHierarchy
+from .sim import Simulator, units
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "HierarchyConfig",
+    "IDIOConfig",
+    "IDIOController",
+    "MemoryHierarchy",
+    "PolicyConfig",
+    "ServerConfig",
+    "SimulatedServer",
+    "Simulator",
+    "all_policies",
+    "core",
+    "cpu",
+    "harness",
+    "mem",
+    "net",
+    "nic",
+    "pcie",
+    "run_experiment",
+    "run_policy_comparison",
+    "sim",
+    "units",
+]

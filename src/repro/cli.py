@@ -1,0 +1,267 @@
+"""Command-line interface: run experiments, figures, and comparisons.
+
+Installed as the ``idio-repro`` console script::
+
+    idio-repro list                      # policies, apps, figures
+    idio-repro run --policy idio --app touchdrop --rate 25
+    idio-repro compare --policies ddio,idio --rate 100 --ring 1024
+    idio-repro figure fig9               # reproduce one paper figure
+    idio-repro figure fig10 --out fig10.txt
+    idio-repro run --policy ddio --csv trace.csv   # export timelines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core import policies
+from .harness import extensions, figures
+from .harness.experiment import Experiment, run_experiment
+from .harness.report import format_table, timeline_block
+from .harness.server import APP_FACTORIES, ServerConfig
+from .harness.traces import export_csv, to_csv_string
+from .sim import units
+
+#: Figure/extension entry points exposed by ``idio-repro figure``.
+FIGURE_COMMANDS: Dict[str, Callable[[], object]] = {
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+    "ext-baselines": extensions.ext_baselines,
+    "ext-recycling": extensions.ext_recycling_modes,
+    "ext-burstthr": extensions.ext_burst_threshold,
+    "ext-ring": extensions.ext_ring_sweep,
+    "ext-inclusive": extensions.ext_inclusive_counterfactual,
+    "ext-saturation": extensions.ext_saturation,
+    "ext-cachedirector": extensions.ext_cachedirector,
+    "ext-mixed": extensions.ext_mixed_deployment,
+    "ext-traffic": extensions.ext_traffic_realism,
+}
+
+#: Reduced-scale keyword arguments for ``figure --quick`` smoke runs.
+FIGURE_QUICK_ARGS: Dict[str, Dict[str, object]] = {
+    "fig4": {
+        "ring_sizes": (64, 1024),
+        "duration_us": 500.0,
+        "max_duration_us": 4000.0,
+        "include_1way": False,
+    },
+    "fig5": {"ring_size": 256, "num_bursts": 2, "burst_period_ms": 1.0},
+    "fig9": {"ring_size": 256},
+    "fig10": {"ring_size": 256, "include_static": False, "corun_rates": (25.0,)},
+    "fig11": {"ring_size": 256},
+    "fig12": {"ring_size": 256, "include_corun": False},
+    "fig13": {"ring_size": 256, "duration_us": 500.0},
+    "fig14": {"thresholds_mtps": (10.0, 50.0, 100.0), "ring_size": 256},
+    "ext-baselines": {"ring_size": 256},
+    "ext-recycling": {"ring_size": 128},
+    "ext-burstthr": {"thresholds_gbps": (10.0,), "ring_size": 256},
+    "ext-ring": {"ring_sizes": (128, 256)},
+    "ext-inclusive": {"ring_size": 256},
+    "ext-saturation": {"rates_gbps": (10.0, 16.0), "duration_us": 1000.0},
+    "ext-cachedirector": {"ring_size": 256},
+    "ext-mixed": {"ring_size": 128},
+    "ext-traffic": {"duration_us": 500.0},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="idio-repro",
+        description="IDIO (MICRO 2022) reproduction: experiments and figure harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list policies, applications, and figures")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    _add_experiment_args(run_p)
+    run_p.add_argument("--policy", default="ddio", help="placement policy name")
+    run_p.add_argument("--csv", help="export 10us timelines to CSV ('-' = stdout)")
+    run_p.add_argument(
+        "--timelines", action="store_true", help="print sparkline timelines"
+    )
+
+    cmp_p = sub.add_parser("compare", help="run several policies on one workload")
+    _add_experiment_args(cmp_p)
+    cmp_p.add_argument(
+        "--policies",
+        default="ddio,idio",
+        help="comma-separated policy names (default: ddio,idio)",
+    )
+
+    fig_p = sub.add_parser("figure", help="reproduce a paper figure / extension")
+    fig_p.add_argument("name", choices=sorted(FIGURE_COMMANDS), help="figure id")
+    fig_p.add_argument("--out", help="also write the report to this file")
+    fig_p.add_argument(
+        "--quick", action="store_true", help="reduced-scale smoke run"
+    )
+
+    val_p = sub.add_parser(
+        "validate", help="run the full reproduction scorecard (paper claims)"
+    )
+    val_p.add_argument(
+        "--quick", action="store_true", help="reduced scale (~3x faster)"
+    )
+
+    return parser
+
+
+def _add_experiment_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", default="touchdrop", choices=sorted(APP_FACTORIES))
+    p.add_argument("--ring", type=int, default=1024, help="RX ring size")
+    p.add_argument("--packet-bytes", type=int, default=1514)
+    p.add_argument(
+        "--traffic", choices=("bursty", "steady"), default="bursty"
+    )
+    p.add_argument("--rate", type=float, default=25.0, help="Gbps (burst or per-NF)")
+    p.add_argument("--bursts", type=int, default=1, help="number of bursts")
+    p.add_argument(
+        "--duration-us", type=float, default=1500.0, help="steady-traffic duration"
+    )
+    p.add_argument("--antagonist", action="store_true", help="add the LLCAntagonist")
+    p.add_argument(
+        "--recycle",
+        choices=("run_to_completion", "copy", "reallocate"),
+        default="run_to_completion",
+    )
+    p.add_argument("--nf-cores", type=int, default=2)
+
+
+def _experiment_from_args(args: argparse.Namespace, policy_name: str) -> Experiment:
+    policy = policies.policy_by_name(policy_name)
+    server = ServerConfig(
+        policy=policy,
+        app=args.app,
+        ring_size=args.ring,
+        packet_bytes=args.packet_bytes,
+        antagonist=args.antagonist,
+        recycle_mode=args.recycle,
+        num_nf_cores=args.nf_cores,
+    )
+    return Experiment(
+        name=f"cli-{policy_name}",
+        server=server,
+        traffic=args.traffic,
+        burst_rate_gbps=args.rate,
+        num_bursts=args.bursts,
+        steady_rate_gbps_per_nf=args.rate,
+        steady_duration=units.microseconds(args.duration_us),
+    )
+
+
+def _result_rows(results) -> List[List[object]]:
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                r.completed,
+                r.rx_drops,
+                r.window.mlc_writebacks,
+                r.window.llc_writebacks,
+                r.window.dram_writes,
+                units.to_microseconds(r.burst_processing_time)
+                if r.burst_processing_time
+                else None,
+                (r.p99_ns or 0) / 1000.0 if r.p99_ns else None,
+            ]
+        )
+    return rows
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    print("Policies:")
+    for name in sorted(policies.extended_policies()):
+        print(f"  {name}")
+    print("Applications:")
+    for name in sorted(APP_FACTORIES):
+        print(f"  {name}")
+    print("Figures / extensions:")
+    for name in sorted(FIGURE_COMMANDS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(_experiment_from_args(args, args.policy))
+    print(
+        format_table(
+            ["policy", "completed", "drops", "MLC WB", "LLC WB", "DRAM wr",
+             "burst us", "p99 us"],
+            _result_rows({args.policy: result}),
+        )
+    )
+    if args.timelines:
+        for stream in ("pcie_writes", "mlc_writebacks", "llc_writebacks"):
+            print(timeline_block(stream, result.timeline(stream)))
+    if args.csv:
+        stats = result.server.stats
+        start, end = result.window.start, result.window.end
+        if args.csv == "-":
+            sys.stdout.write(to_csv_string(stats, start, end))
+        else:
+            rows = export_csv(stats, args.csv, start, end)
+            print(f"wrote {rows} rows to {args.csv}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.policies.split(",") if n.strip()]
+    if not names:
+        print("no policies given", file=sys.stderr)
+        return 2
+    results = {}
+    for name in names:
+        results[name] = run_experiment(_experiment_from_args(args, name))
+    print(
+        format_table(
+            ["policy", "completed", "drops", "MLC WB", "LLC WB", "DRAM wr",
+             "burst us", "p99 us"],
+            _result_rows(results),
+            title=f"{args.app} @ {args.rate:g} Gbps ({args.traffic}), ring {args.ring}",
+        )
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    kwargs = FIGURE_QUICK_ARGS.get(args.name, {}) if args.quick else {}
+    report = FIGURE_COMMANDS[args.name](**kwargs)
+    print(report.text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.text + "\n")
+        print(f"(report written to {args.out})")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .harness.validation import run_validation
+
+    card = run_validation(quick=args.quick)
+    print(card.render())
+    return 0 if card.all_passed else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "figure": cmd_figure,
+        "validate": cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

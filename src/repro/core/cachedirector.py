@@ -1,0 +1,44 @@
+"""CacheDirector-style slice steering baseline (related work, cf. [14]).
+
+CacheDirector improves default DDIO by placing each packet's *header*
+into the LLC slice closest to the core that will process it, trimming the
+on-chip NUCA hops from the hottest access of fine-grained network
+functions.  The paper positions it as limited: "due to the limited
+flexibility of the current commercial hardware, they ... still suffer
+from the penalty of a high MLC writeback rate."
+
+Our baseline implements the mechanism's effect on a sliced LLC: the
+steering hook pins the home slice of every header line to the destination
+core's local slice before the DMA write lands.  Nothing else changes —
+no MLC steering, no invalidation, static LLC placement — so benchmarks
+can isolate how much of IDIO's benefit slice locality alone provides.
+"""
+
+from __future__ import annotations
+
+from ..mem.hierarchy import MemoryHierarchy
+from ..pcie.tlp import IdioTag
+from ..sim import Simulator
+
+
+class CacheDirectorController:
+    """Steering hook: pin header lines to the consuming core's slice."""
+
+    def __init__(self, sim: Simulator, hierarchy: MemoryHierarchy) -> None:
+        if hierarchy.llc.slices <= 0:
+            raise ValueError("CacheDirector requires a sliced (NUCA) LLC")
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.headers_steered = 0
+
+    def steer(self, tag: IdioTag, addr: int, now: int) -> str:
+        """The RootComplex hook: always LLC placement, slice-pinned headers."""
+        if tag.is_header and tag.app_class == 0:
+            llc = self.hierarchy.llc
+            target = llc.home_slice_of_core(tag.dest_core)
+            llc.set_slice_override(addr, target)
+            self.headers_steered += 1
+        return "llc"
+
+    def stop(self) -> None:
+        """Nothing periodic to stop (symmetry with the other controllers)."""

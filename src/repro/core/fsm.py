@@ -1,0 +1,54 @@
+"""The per-core status FSM of Fig. 8.
+
+A 2-bit saturating counter decides whether inbound DMA for a core is
+steered to its MLC or stays in the LLC:
+
+* default/reset-on-boot state is ``0b11`` — MLC prefetching *disabled*
+  (status = LLC);
+* a detected RX burst forces the state to ``0b00`` — prefetching enabled
+  (status = MLC);
+* every control interval, high MLC pressure (``mlcPress``) increments the
+  counter and low pressure decrements it, saturating at both ends;
+* only the saturated ``0b11`` state disables prefetching — the counter's
+  hysteresis keeps short pressure spikes from flapping the steering.
+"""
+
+from __future__ import annotations
+
+STATE_MIN = 0b00
+STATE_MAX = 0b11
+
+STATUS_MLC = 1
+STATUS_LLC = 0
+
+
+class StatusFSM:
+    """One core's 2-bit saturating steering FSM."""
+
+    def __init__(self) -> None:
+        self.state = STATE_MAX  # prefetching disabled by default
+
+    @property
+    def status(self) -> int:
+        """The 1-bit status register: 1 -> MLC steering, 0 -> LLC."""
+        return STATUS_LLC if self.state == STATE_MAX else STATUS_MLC
+
+    @property
+    def steers_to_mlc(self) -> bool:
+        return self.status == STATUS_MLC
+
+    def on_burst(self) -> None:
+        """A burst arrival resets the FSM to 0b00 (Alg. 1 line 3)."""
+        self.state = STATE_MIN
+
+    def on_pressure(self, high: bool) -> None:
+        """One control-interval update: saturating inc/dec on mlcPress."""
+        if high:
+            if self.state < STATE_MAX:
+                self.state += 1
+        else:
+            if self.state > STATE_MIN:
+                self.state -= 1
+
+    def __repr__(self) -> str:
+        return f"<StatusFSM state={self.state:#04b} status={'MLC' if self.steers_to_mlc else 'LLC'}>"

@@ -1,0 +1,168 @@
+"""Inbound data placement policies evaluated in the paper.
+
+Fig. 9/10 compare five configurations; each is expressed here as a
+:class:`PolicyConfig` describing which IDIO mechanisms are armed:
+
+===========  ===============  ==================  ==================
+name         self-invalidate  MLC prefetching     direct DRAM (M3)
+===========  ===============  ==================  ==================
+DDIO         no               off                 no
+Invalidate   yes              off                 no
+Prefetch     no               dynamic (FSM)       no
+Static       yes              always-on           no
+IDIO         yes              dynamic (FSM)       yes
+===========  ===============  ==================  ==================
+
+The baseline DDIO configuration installs no controller at all: the root
+complex applies the static LLC placement, exactly as today's hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .config import IDIOConfig
+
+#: MLC prefetch modes.
+PREFETCH_OFF = "off"
+PREFETCH_DYNAMIC = "dynamic"
+PREFETCH_STATIC = "static"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """One inbound-placement configuration."""
+
+    name: str
+    self_invalidate: bool = False
+    prefetch_mode: str = PREFETCH_OFF
+    direct_dram: bool = False
+    #: IAT-style dynamic DDIO-way resizing (baseline from related work;
+    #: mutually exclusive with the IDIO controller mechanisms).
+    dynamic_ddio_ways: bool = False
+    #: CacheDirector-style header slice steering (related-work baseline;
+    #: requires a sliced LLC, mutually exclusive with IDIO steering).
+    slice_header_steering: bool = False
+    idio: IDIOConfig = field(default_factory=IDIOConfig)
+
+    def __post_init__(self) -> None:
+        if self.prefetch_mode not in (PREFETCH_OFF, PREFETCH_DYNAMIC, PREFETCH_STATIC):
+            raise ValueError(f"unknown prefetch mode {self.prefetch_mode!r}")
+        if self.dynamic_ddio_ways and (
+            self.prefetch_mode != PREFETCH_OFF or self.direct_dram
+        ):
+            raise ValueError(
+                "dynamic_ddio_ways is a standalone baseline; it cannot be "
+                "combined with IDIO steering mechanisms"
+            )
+        if self.slice_header_steering and (
+            self.prefetch_mode != PREFETCH_OFF
+            or self.direct_dram
+            or self.dynamic_ddio_ways
+        ):
+            raise ValueError(
+                "slice_header_steering is a standalone baseline; it cannot "
+                "be combined with IDIO or IAT mechanisms"
+            )
+
+    @property
+    def needs_controller(self) -> bool:
+        """Whether an IDIO controller must be instantiated."""
+        return self.prefetch_mode != PREFETCH_OFF or self.direct_dram
+
+    @property
+    def needs_classifier(self) -> bool:
+        """Whether the NIC-side classifier must be enabled.
+
+        Any mechanism that steers per packet needs the in-band TLP
+        metadata (IDIO steering or CacheDirector's header pinning); pure
+        self-invalidation is software-only.
+        """
+        return self.needs_controller or self.slice_header_steering
+
+    def with_threshold(self, mlc_threshold_mtps: float) -> "PolicyConfig":
+        """A copy with a different mlcTHR (the Fig. 14 sweep)."""
+        return replace(self, idio=replace(self.idio, mlc_threshold_mtps=mlc_threshold_mtps))
+
+    def with_burst_threshold(self, rx_burst_threshold_gbps: float) -> "PolicyConfig":
+        """A copy with a different rxBurstTHR (extension sweep)."""
+        return replace(
+            self,
+            idio=replace(self.idio, rx_burst_threshold_gbps=rx_burst_threshold_gbps),
+        )
+
+
+def ddio() -> PolicyConfig:
+    """Baseline DDIO: static LLC placement, no IDIO mechanisms."""
+    return PolicyConfig(name="ddio")
+
+
+def invalidate_only() -> PolicyConfig:
+    """Self-invalidating I/O buffers only (Fig. 9c/9d)."""
+    return PolicyConfig(name="invalidate", self_invalidate=True)
+
+
+def prefetch_only() -> PolicyConfig:
+    """Network-driven MLC prefetching only (Fig. 9e/9f)."""
+    return PolicyConfig(name="prefetch", prefetch_mode=PREFETCH_DYNAMIC)
+
+
+def static_idio() -> PolicyConfig:
+    """Invalidate + always-on MLC prefetching (the "Static" config)."""
+    return PolicyConfig(
+        name="static", self_invalidate=True, prefetch_mode=PREFETCH_STATIC
+    )
+
+
+def idio() -> PolicyConfig:
+    """Full dynamic IDIO: all three mechanisms (M1+M2+M3)."""
+    return PolicyConfig(
+        name="idio",
+        self_invalidate=True,
+        prefetch_mode=PREFETCH_DYNAMIC,
+        direct_dram=True,
+    )
+
+
+def regulated_idio() -> PolicyConfig:
+    """IDIO with the CPU-pointer-following prefetcher (§VII future work)."""
+    return PolicyConfig(
+        name="idio-regulated",
+        self_invalidate=True,
+        prefetch_mode=PREFETCH_DYNAMIC,
+        direct_dram=True,
+        idio=IDIOConfig(prefetch_regulated=True),
+    )
+
+
+def iat() -> PolicyConfig:
+    """IAT-style dynamic DDIO-way resizing baseline (related work [41])."""
+    return PolicyConfig(name="iat", dynamic_ddio_ways=True)
+
+
+def cachedirector() -> PolicyConfig:
+    """CacheDirector-style header slice steering baseline (related work [14])."""
+    return PolicyConfig(name="cachedirector", slice_header_steering=True)
+
+
+def all_policies() -> Dict[str, PolicyConfig]:
+    """The five Fig. 9 configurations, keyed by name."""
+    configs = [ddio(), invalidate_only(), prefetch_only(), static_idio(), idio()]
+    return {c.name: c for c in configs}
+
+
+def extended_policies() -> Dict[str, PolicyConfig]:
+    """Fig. 9 configurations plus the extension/ablation policies."""
+    table = all_policies()
+    for extra in (regulated_idio(), iat(), cachedirector()):
+        table[extra.name] = extra
+    return table
+
+
+def policy_by_name(name: str) -> PolicyConfig:
+    table = extended_policies()
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(table)}") from None

@@ -1,0 +1,77 @@
+"""The core model: a timed agent issuing memory accesses.
+
+The paper's platform simulates 3-wide out-of-order aarch64 cores in gem5
+(Table I).  We replace the microarchitectural pipeline with a cost model:
+software work is charged in cycles, and every memory access is charged the
+hierarchy's level-dependent latency.  The model is calibrated (see
+``repro.harness.server``) so a core saturates near the paper's observed
+~12 Gbps per-core TouchDrop capacity (§VII, steady-traffic experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..mem.hierarchy import AccessResult, MemoryHierarchy
+from ..sim import Simulator, units
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution statistics (CPI-style accounting)."""
+
+    mem_accesses: int = 0
+    mem_ticks: int = 0
+    compute_ticks: int = 0
+    hits_by_level: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: AccessResult) -> None:
+        self.mem_accesses += 1
+        self.mem_ticks += result.latency
+        self.hits_by_level[result.level] = self.hits_by_level.get(result.level, 0) + 1
+
+    @property
+    def total_ticks(self) -> int:
+        return self.mem_ticks + self.compute_ticks
+
+    def average_access_ns(self) -> float:
+        """Average memory access latency in ns (the antagonist's CPI proxy)."""
+        if self.mem_accesses == 0:
+            return 0.0
+        return units.to_nanoseconds(self.mem_ticks) / self.mem_accesses
+
+
+class Core:
+    """One physical core bound to the shared memory hierarchy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        freq_ghz: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.freq_ghz = freq_ghz
+        self.stats = CoreStats()
+
+    def mem_read(self, addr: int) -> int:
+        """Issue a demand load; returns its latency in ticks."""
+        result = self.hierarchy.cpu_access(self.core_id, addr, False, self.sim.now)
+        self.stats.record(result)
+        return result.latency
+
+    def mem_write(self, addr: int) -> int:
+        """Issue a demand store; returns its latency in ticks."""
+        result = self.hierarchy.cpu_access(self.core_id, addr, True, self.sim.now)
+        self.stats.record(result)
+        return result.latency
+
+    def compute(self, num_cycles: float) -> int:
+        """Charge ``num_cycles`` of non-memory work; returns ticks."""
+        ticks = units.cycles(num_cycles, self.freq_ghz)
+        self.stats.compute_ticks += ticks
+        return ticks

@@ -1,0 +1,26 @@
+"""Experiment harness: server builder, runner, metrics, figure reproductions."""
+
+from . import extensions, figures, metrics, report, traces, validation
+from .experiment import (
+    Experiment,
+    ExperimentResult,
+    run_experiment,
+    run_policy_comparison,
+)
+from .server import APP_FACTORIES, ServerConfig, SimulatedServer
+
+__all__ = [
+    "APP_FACTORIES",
+    "Experiment",
+    "ExperimentResult",
+    "ServerConfig",
+    "SimulatedServer",
+    "extensions",
+    "figures",
+    "metrics",
+    "report",
+    "run_experiment",
+    "run_policy_comparison",
+    "traces",
+    "validation",
+]

@@ -1,0 +1,228 @@
+"""Experiment runner: one (policy, workload) run with derived metrics.
+
+An :class:`Experiment` describes the workload; :func:`run_experiment`
+builds a :class:`~repro.harness.server.SimulatedServer`, drives it, and
+returns an :class:`ExperimentResult` with all the figure-level metrics
+(window statistics, timelines, latency percentiles, burst processing
+time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.policies import PolicyConfig, ddio
+from ..sim import units
+from . import metrics
+from .server import ServerConfig, SimulatedServer
+
+
+@dataclass
+class Experiment:
+    """One workload description, independent of the placement policy."""
+
+    name: str = "experiment"
+    server: ServerConfig = field(default_factory=ServerConfig)
+    #: "bursty", "steady", "poisson", or "imix".
+    traffic: str = "bursty"
+    #: Seed for the stochastic traffic kinds (poisson/imix).
+    traffic_seed: int = 0
+    burst_rate_gbps: float = 100.0
+    packets_per_burst: Optional[int] = None
+    num_bursts: int = 1
+    burst_period: int = units.milliseconds(10)
+    steady_rate_gbps_per_nf: float = 10.0
+    steady_duration: int = units.milliseconds(1)
+    #: Extra time after the traffic ends to let the CPUs drain the rings.
+    drain_allowance: int = units.milliseconds(8)
+    traffic_start: int = units.microseconds(20)
+
+    def with_policy(self, policy: PolicyConfig) -> "Experiment":
+        return replace(self, server=replace(self.server, policy=policy))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the figure benchmarks consume."""
+
+    experiment: Experiment
+    policy_name: str
+    window: metrics.WindowStats
+    offered_packets: int
+    rx_packets: int
+    rx_drops: int
+    completed: int
+    burst_processing_time: Optional[int]
+    latencies_ns: List[float]
+    antagonist_access_ns: Optional[float]
+    antagonist_accesses: int
+    decisions: Dict[str, int]
+    server: SimulatedServer
+
+    @property
+    def p50_ns(self) -> Optional[float]:
+        if not self.latencies_ns:
+            return None
+        return metrics.percentile(self.latencies_ns, 50)
+
+    @property
+    def p99_ns(self) -> Optional[float]:
+        if not self.latencies_ns:
+            return None
+        return metrics.percentile(self.latencies_ns, 99)
+
+    def latency_breakdown_ns(self) -> Dict[str, float]:
+        """Mean queueing delay vs service time of completed packets.
+
+        Queueing delay covers NIC pipeline + descriptor writeback + ring
+        wait + batching; service time is the pure processing component.
+        """
+        from ..sim import units as _units
+
+        packets = self.server.completed_packets()
+        queueing = [p.queueing_delay for p in packets if p.queueing_delay is not None]
+        service = [p.service_time for p in packets if p.service_time is not None]
+        return {
+            "mean_queueing_ns": (
+                _units.to_nanoseconds(sum(queueing)) / len(queueing) if queueing else 0.0
+            ),
+            "mean_service_ns": (
+                _units.to_nanoseconds(sum(service)) / len(service) if service else 0.0
+            ),
+        }
+
+    def timeline(self, stream: str, bin_us: float = 10.0) -> List[Tuple[float, float]]:
+        """(time_us, MTPS) series for a stat stream over the run window."""
+        return metrics.timeline_mtps(
+            self.server.stats,
+            stream,
+            self.window.start,
+            self.window.end,
+            bin_ticks=units.microseconds(bin_us),
+        )
+
+    def normalized_to(self, baseline: "ExperimentResult") -> Dict[str, float]:
+        """Fig. 10-style normalization against a baseline run."""
+        values = self.window.normalized_to(baseline.window)
+        if (
+            self.burst_processing_time is not None
+            and baseline.burst_processing_time
+        ):
+            values["exe_time"] = (
+                self.burst_processing_time / baseline.burst_processing_time
+            )
+        return values
+
+
+def run_experiment(experiment: Experiment) -> ExperimentResult:
+    """Build the server, inject traffic, run to drain, derive metrics."""
+    server = SimulatedServer(experiment.server)
+    server.start()
+
+    if experiment.traffic == "bursty":
+        offered = server.inject_bursty(
+            experiment.burst_rate_gbps,
+            packets_per_burst=experiment.packets_per_burst,
+            num_bursts=experiment.num_bursts,
+            burst_period=experiment.burst_period,
+            start=experiment.traffic_start,
+        )
+        traffic_end = (
+            experiment.traffic_start
+            + (experiment.num_bursts - 1) * experiment.burst_period
+            + _burst_length(experiment)
+        )
+    elif experiment.traffic == "steady":
+        offered = server.inject_steady(
+            experiment.steady_rate_gbps_per_nf,
+            experiment.steady_duration,
+            start=experiment.traffic_start,
+        )
+        traffic_end = experiment.traffic_start + experiment.steady_duration
+    elif experiment.traffic == "poisson":
+        offered = server.inject_poisson(
+            experiment.steady_rate_gbps_per_nf,
+            experiment.steady_duration,
+            start=experiment.traffic_start,
+            seed=experiment.traffic_seed,
+        )
+        traffic_end = experiment.traffic_start + experiment.steady_duration
+    elif experiment.traffic == "imix":
+        offered = server.inject_imix(
+            experiment.steady_rate_gbps_per_nf,
+            experiment.steady_duration,
+            start=experiment.traffic_start,
+            seed=experiment.traffic_seed,
+        )
+        traffic_end = experiment.traffic_start + experiment.steady_duration
+    else:
+        raise ValueError(f"unknown traffic kind {experiment.traffic!r}")
+
+    deadline = traffic_end + experiment.drain_allowance
+    end_time = server.run_until_drained(deadline)
+    server.stop()
+
+    window = metrics.window_stats(server.stats, 0, end_time)
+    completions = [
+        p.completion_time
+        for p in server.completed_packets()
+        if p.completion_time is not None
+    ]
+    bpt = metrics.burst_processing_time(server.stats, completions)
+
+    antagonist_ns: Optional[float] = None
+    antagonist_accesses = 0
+    if server.config.antagonist:
+        core_id = server.config.antagonist_core
+        assert core_id is not None
+        stats = server.cores[core_id].stats
+        antagonist_accesses = stats.mem_accesses
+        # Average access latency *during the contention window* (traffic
+        # start to last packet completion) — the paper's CPI comparison is
+        # over the co-run, not the post-burst idle tail.
+        window_end = max(completions) if completions else end_time
+        assert server.antagonist_driver is not None
+        antagonist_ns = server.antagonist_driver.access_ns_between(
+            experiment.traffic_start, window_end
+        )
+        if antagonist_ns is None:
+            antagonist_ns = stats.average_access_ns()
+
+    return ExperimentResult(
+        experiment=experiment,
+        policy_name=experiment.server.policy.name,
+        window=window,
+        offered_packets=offered,
+        rx_packets=server.total_rx,
+        rx_drops=server.total_drops,
+        completed=len(completions),
+        burst_processing_time=bpt,
+        latencies_ns=server.packet_latencies_ns(),
+        antagonist_access_ns=antagonist_ns,
+        antagonist_accesses=antagonist_accesses,
+        decisions=dict(server.controller.decisions) if server.controller else {},
+        server=server,
+    )
+
+
+def _burst_length(experiment: Experiment) -> int:
+    from ..net.traffic import BurstProfile
+
+    per_burst = experiment.packets_per_burst or experiment.server.ring_size
+    profile = BurstProfile(
+        burst_rate_gbps=experiment.burst_rate_gbps,
+        packets_per_burst=per_burst,
+        packet_bytes=experiment.server.packet_bytes,
+    )
+    return profile.burst_length
+
+
+def run_policy_comparison(
+    experiment: Experiment, policies: List[PolicyConfig]
+) -> Dict[str, ExperimentResult]:
+    """Run the same workload under several policies (Fig. 9/10 pattern)."""
+    results: Dict[str, ExperimentResult] = {}
+    for policy in policies:
+        results[policy.name] = run_experiment(experiment.with_policy(policy))
+    return results

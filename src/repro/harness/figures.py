@@ -1,0 +1,677 @@
+"""Per-figure experiment definitions (the paper's evaluation section).
+
+Each ``figN`` function runs the workload(s) behind one paper figure and
+returns a :class:`FigureReport` holding structured rows plus a printable
+text block that places the paper's reported values next to the measured
+ones.  The benchmarks in ``benchmarks/`` are thin wrappers over these.
+
+All functions accept scaling knobs so the same code path serves both quick
+smoke tests (small rings, short bursts) and full paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import policies
+from ..sim import units
+from . import metrics
+from .experiment import Experiment, ExperimentResult, run_experiment
+from .report import format_table, timeline_block
+from .server import ServerConfig
+
+
+@dataclass
+class FigureReport:
+    """Structured + printable results for one reproduced figure/table."""
+
+    figure: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    text: str = ""
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# Paper-reported values (for the side-by-side columns / EXPERIMENTS.md).
+# ---------------------------------------------------------------------------
+
+#: Fig. 10 — IDIO vs DDIO reductions (percent) per burst rate, solo runs.
+PAPER_FIG10_MLC_WB_REDUCTION = {100.0: 73.9, 25.0: 83.7, 10.0: 63.8}
+#: Fig. 10 — burst processing time improvement (percent), solo runs.
+PAPER_FIG10_EXE_IMPROVEMENT = {100.0: 18.5, 25.0: 22.0, 10.0: 0.0}
+#: Fig. 10 — co-run burst processing time improvement (percent).
+PAPER_FIG10_CORUN_EXE_IMPROVEMENT = {100.0: 10.9, 25.0: 20.8}
+#: Fig. 12 — p99 latency reduction (percent), solo / co-run per rate.
+PAPER_FIG12_P99_REDUCTION_SOLO = {100.0: 7.9, 25.0: 30.5, 10.0: 10.9}
+PAPER_FIG12_P99_REDUCTION_CORUN = {100.0: 6.1, 25.0: 32.0, 10.0: 8.2}
+#: Fig. 4 — MLC writeback rate at ring 1024 normalized to RX line rate.
+PAPER_FIG4_MLC_WB_RATIO_RING1024 = 1.52
+
+
+def _bursty_experiment(
+    name: str,
+    burst_rate_gbps: float,
+    ring_size: int,
+    packet_bytes: int = 1514,
+    app: str = "touchdrop",
+    antagonist: bool = False,
+    num_bursts: int = 1,
+    packets_per_burst: Optional[int] = None,
+) -> Experiment:
+    return Experiment(
+        name=name,
+        server=ServerConfig(
+            app=app,
+            ring_size=ring_size,
+            packet_bytes=packet_bytes,
+            antagonist=antagonist,
+        ),
+        traffic="bursty",
+        burst_rate_gbps=burst_rate_gbps,
+        num_bursts=num_bursts,
+        packets_per_burst=packets_per_burst,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — MLC and DRAM leaks vs load level and ring size (DDIO baseline)
+# ---------------------------------------------------------------------------
+
+def fig4(
+    ring_sizes: Sequence[int] = (64, 1024, 2048),
+    loads_gbps_per_nf: Dict[str, float] = None,
+    duration_us: float = 1500.0,
+    packet_bytes: int = 1514,
+    include_1way: bool = True,
+    ring_wraps: float = 1.5,
+    max_duration_us: float = 30_000.0,
+) -> FigureReport:
+    """Fig. 4: steady-load MLC/DRAM leak characterization under DDIO.
+
+    The paper's physical experiment runs 10 NFs at aggregate loads of
+    8 Mbps / 1 Gbps / 20 Gbps; our simulated server runs 2 NF cores, so
+    the per-NF load levels below keep the same per-core pressure ordering
+    (low ≪ med < high, with high near the per-core saturation point).
+
+    The measurement window per cell is stretched so the NIC wraps the DMA
+    ring at least ``ring_wraps`` times (the paper measures in steady
+    state; a window shorter than one wrap would miss the MLC-invalidation
+    and writeback steady-state behavior at low loads), capped at
+    ``max_duration_us``.
+    """
+    if loads_gbps_per_nf is None:
+        loads_gbps_per_nf = {"low": 1.0, "med": 4.0, "high": 10.0}
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {}
+
+    configs: List[Tuple[str, int, bool]] = []
+    for ring in ring_sizes:
+        for load in loads_gbps_per_nf:
+            configs.append((load, ring, False))
+    if include_1way:
+        for ring in ring_sizes:
+            if ring >= 1024:
+                configs.append(("high", ring, True))
+
+    for load_name, ring, one_way in configs:
+        load = loads_gbps_per_nf[load_name]
+        wire_bits = (packet_bytes + 24) * 8
+        packets_needed = ring * ring_wraps
+        needed_us = packets_needed * wire_bits / (load * 1e3)
+        cell_duration = units.microseconds(
+            min(max(duration_us, needed_us), max_duration_us)
+        )
+        exp = Experiment(
+            name=f"fig4-{load_name}-ring{ring}{'-1way' if one_way else ''}",
+            server=ServerConfig(
+                app="touchdrop",
+                ring_size=ring,
+                packet_bytes=packet_bytes,
+                nf_cat_ways=1 if one_way else None,
+            ),
+            traffic="steady",
+            steady_rate_gbps_per_nf=load,
+            steady_duration=cell_duration,
+        )
+        result = run_experiment(exp)
+        results[exp.name] = result
+        stats = result.server.stats
+        start, end = result.window.start, result.window.end
+        rows.append(
+            {
+                "config": exp.name,
+                "load": load_name,
+                "ring": ring,
+                "one_way": one_way,
+                "mlc_wb_per_rx_line": metrics.rate_normalized_to_rx(
+                    stats, "mlc_writebacks", start, end
+                ),
+                "mlc_inval_per_rx_line": metrics.rate_normalized_to_rx(
+                    stats, "mlc_invalidations", start, end
+                ),
+                "dram_read_gbps": metrics.dram_bandwidth_gbps(
+                    stats, "dram_reads", start, end
+                ),
+                "dram_write_gbps": metrics.dram_bandwidth_gbps(
+                    stats, "dram_writes", start, end
+                ),
+                "rx_drops": result.rx_drops,
+            }
+        )
+
+    table = format_table(
+        [
+            "config",
+            "MLC WB / RX line",
+            "MLC inval / RX line",
+            "DRAM rd Gbps",
+            "DRAM wr Gbps",
+            "drops",
+        ],
+        [
+            [
+                r["config"],
+                r["mlc_wb_per_rx_line"],
+                r["mlc_inval_per_rx_line"],
+                r["dram_read_gbps"],
+                r["dram_write_gbps"],
+                r["rx_drops"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 4 — MLC/DRAM leaks vs load and ring size (DDIO)",
+    )
+    notes = (
+        f"\nPaper shape: ring 64 -> low MLC WB ratio & high invalidation ratio;"
+        f"\n  ring >= 1024 -> MLC WB ratio ~{PAPER_FIG4_MLC_WB_RATIO_RING1024}x RX"
+        " at every load; _1way at high load -> much higher DRAM write BW."
+    )
+    return FigureReport("fig4", "MLC and DRAM leaks (DDIO)", rows, table + notes, results)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — MLC/LLC writeback timeline over bursts (DDIO baseline)
+# ---------------------------------------------------------------------------
+
+def fig5(
+    ring_size: int = 1024,
+    num_bursts: int = 3,
+    burst_rate_gbps: float = 100.0,
+    burst_period_ms: float = 10.0,
+) -> FigureReport:
+    """Fig. 5: writeback phases (DMA phase vs execution phase) under DDIO."""
+    exp = _bursty_experiment(
+        "fig5", burst_rate_gbps, ring_size, num_bursts=num_bursts
+    )
+    exp = replace(exp, burst_period=units.milliseconds(burst_period_ms))
+    result = run_experiment(exp)
+
+    mlc_tl = result.timeline("mlc_writebacks")
+    llc_tl = result.timeline("llc_writebacks")
+    dma_tl = result.timeline("pcie_writes")
+    rows = [
+        {
+            "stream": "mlc_writebacks",
+            "total": result.window.mlc_writebacks,
+            "peak_mtps": max((v for _, v in mlc_tl), default=0.0),
+        },
+        {
+            "stream": "llc_writebacks",
+            "total": result.window.llc_writebacks,
+            "peak_mtps": max((v for _, v in llc_tl), default=0.0),
+        },
+    ]
+    text = "\n".join(
+        [
+            "Fig. 5 — writebacks processing bursty traffic (DDIO, TouchDrop)",
+            timeline_block("DMA writes", dma_tl),
+            timeline_block("MLC writebacks", mlc_tl),
+            timeline_block("LLC writebacks", llc_tl),
+            f"totals: MLC WB={result.window.mlc_writebacks} "
+            f"LLC WB={result.window.llc_writebacks} "
+            f"DRAM wr={result.window.dram_writes}",
+            "Paper shape: LLC WBs spike during the DMA phase (DMA leak), MLC",
+            "WBs dominate the execution phase (dead-buffer writebacks).",
+        ]
+    )
+    return FigureReport("fig5", "Burst writeback timeline (DDIO)", rows, text, {"ddio": result})
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — per-policy writeback timelines at 100/25 Gbps bursts
+# ---------------------------------------------------------------------------
+
+FIG9_POLICY_ORDER = ["ddio", "invalidate", "prefetch", "static", "idio"]
+
+
+def fig9(
+    burst_rates: Sequence[float] = (100.0, 25.0),
+    ring_size: int = 1024,
+    policy_names: Sequence[str] = tuple(FIG9_POLICY_ORDER),
+) -> FigureReport:
+    """Fig. 9: the five placement configurations, one burst each."""
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {}
+    blocks: List[str] = ["Fig. 9 — per-policy writebacks (TouchDrop, one burst)"]
+    for rate in burst_rates:
+        for name in policy_names:
+            policy = policies.policy_by_name(name)
+            exp = _bursty_experiment(
+                f"fig9-{name}-{rate:g}g", rate, ring_size
+            ).with_policy(policy)
+            result = run_experiment(exp)
+            key = f"{name}@{rate:g}g"
+            results[key] = result
+            rows.append(
+                {
+                    "policy": name,
+                    "rate_gbps": rate,
+                    "mlc_wb": result.window.mlc_writebacks,
+                    "llc_wb": result.window.llc_writebacks,
+                    "dram_wr": result.window.dram_writes,
+                    "burst_time_us": _us(result.burst_processing_time),
+                }
+            )
+            blocks.append(
+                timeline_block(
+                    f"{key} MLC WB", result.timeline("mlc_writebacks")
+                )
+            )
+            blocks.append(
+                timeline_block(
+                    f"{key} LLC WB", result.timeline("llc_writebacks")
+                )
+            )
+
+    table = format_table(
+        ["policy", "rate", "MLC WB", "LLC WB", "DRAM wr", "burst time us"],
+        [
+            [r["policy"], r["rate_gbps"], r["mlc_wb"], r["llc_wb"], r["dram_wr"], r["burst_time_us"]]
+            for r in rows
+        ],
+    )
+    blocks.append(table)
+    blocks.append(
+        "Paper shape: Invalidate kills most MLC WBs; Prefetch shortens the"
+        "\nburst; Static == IDIO except MLC WB overshoot at 100 Gbps; IDIO"
+        "\ncuts LLC WBs at every rate."
+    )
+    return FigureReport("fig9", "Policy writeback timelines", rows, "\n".join(blocks), results)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — normalized transactions + burst processing time
+# ---------------------------------------------------------------------------
+
+def fig10(
+    burst_rates: Sequence[float] = (100.0, 25.0, 10.0),
+    ring_size: int = 1024,
+    include_static: bool = True,
+    include_corun: bool = True,
+    corun_rates: Sequence[float] = (100.0, 25.0),
+) -> FigureReport:
+    """Fig. 10: Static/IDIO stats normalized to DDIO, plus the co-run."""
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {}
+
+    def one(rate: float, policy_name: str, antagonist: bool) -> ExperimentResult:
+        policy = policies.policy_by_name(policy_name)
+        exp = _bursty_experiment(
+            f"fig10-{policy_name}-{rate:g}g{'-corun' if antagonist else ''}",
+            rate,
+            ring_size,
+            antagonist=antagonist,
+        ).with_policy(policy)
+        result = run_experiment(exp)
+        results[exp.name] = result
+        return result
+
+    scenario_policies = ["static", "idio"] if include_static else ["idio"]
+    for rate in burst_rates:
+        baseline = one(rate, "ddio", False)
+        for name in scenario_policies:
+            result = one(rate, name, False)
+            normalized = result.normalized_to(baseline)
+            rows.append(
+                {
+                    "scenario": "solo",
+                    "policy": name,
+                    "rate_gbps": rate,
+                    **normalized,
+                    "paper_mlc_wb": _paper_norm(PAPER_FIG10_MLC_WB_REDUCTION, rate)
+                    if name == "idio"
+                    else None,
+                    "paper_exe": _paper_norm(PAPER_FIG10_EXE_IMPROVEMENT, rate)
+                    if name == "idio"
+                    else None,
+                }
+            )
+
+    if include_corun:
+        for rate in corun_rates:
+            baseline = one(rate, "ddio", True)
+            result = one(rate, "idio", True)
+            normalized = result.normalized_to(baseline)
+            row: Dict[str, object] = {
+                "scenario": "corun",
+                "policy": "idio",
+                "rate_gbps": rate,
+                **normalized,
+                "paper_mlc_wb": None,
+                "paper_exe": _paper_norm(PAPER_FIG10_CORUN_EXE_IMPROVEMENT, rate),
+            }
+            if (
+                result.antagonist_access_ns
+                and baseline.antagonist_access_ns
+                and baseline.antagonist_access_ns > 0
+            ):
+                row["antagonist_access_ratio"] = (
+                    result.antagonist_access_ns / baseline.antagonist_access_ns
+                )
+            rows.append(row)
+
+    table = format_table(
+        [
+            "scenario",
+            "policy",
+            "rate",
+            "MLC WB (norm)",
+            "LLC WB (norm)",
+            "DRAM rd (norm)",
+            "DRAM wr (norm)",
+            "Exe time (norm)",
+            "paper MLC WB",
+            "paper Exe",
+        ],
+        [
+            [
+                r["scenario"],
+                r["policy"],
+                r["rate_gbps"],
+                r.get("mlc_writebacks"),
+                r.get("llc_writebacks"),
+                r.get("dram_reads"),
+                r.get("dram_writes"),
+                r.get("exe_time"),
+                r.get("paper_mlc_wb"),
+                r.get("paper_exe"),
+            ]
+            for r in rows
+        ],
+        title="Fig. 10 — transactions & exe time normalized to DDIO (lower is better)",
+    )
+    return FigureReport("fig10", "Normalized transactions", rows, table, results)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — L2Fwd timelines (shallow NF) + direct DRAM variant
+# ---------------------------------------------------------------------------
+
+def fig11(
+    burst_rate_gbps: float = 100.0,
+    ring_size: int = 1024,
+    packet_bytes: int = 1024,
+    include_payload_drop: bool = True,
+) -> FigureReport:
+    """Fig. 11: zero-copy L2Fwd under DDIO vs IDIO, plus the class-1 variant."""
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {}
+    blocks: List[str] = ["Fig. 11 — L2Fwd (zero-copy forward), 1024 B packets"]
+
+    for name in ("ddio", "idio"):
+        policy = policies.policy_by_name(name)
+        exp = _bursty_experiment(
+            f"fig11-{name}", burst_rate_gbps, ring_size, packet_bytes, app="l2fwd"
+        ).with_policy(policy)
+        result = run_experiment(exp)
+        results[name] = result
+        rows.append(_fig11_row(name, result))
+        blocks.append(timeline_block(f"{name} MLC WB", result.timeline("mlc_writebacks")))
+        blocks.append(timeline_block(f"{name} LLC WB", result.timeline("llc_writebacks")))
+
+    if include_payload_drop:
+        exp = _bursty_experiment(
+            "fig11-payload-drop",
+            burst_rate_gbps,
+            ring_size,
+            packet_bytes,
+            app="l2fwd-payload-drop",
+        ).with_policy(policies.idio())
+        result = run_experiment(exp)
+        results["idio-payload-drop"] = result
+        rows.append(_fig11_row("idio-payload-drop", result))
+
+    table = format_table(
+        ["config", "MLC WB", "LLC WB", "DRAM wr", "direct DRAM wr", "TX pkts"],
+        [
+            [
+                r["config"],
+                r["mlc_wb"],
+                r["llc_wb"],
+                r["dram_wr"],
+                r["direct_dram_wr"],
+                r["tx_packets"],
+            ]
+            for r in rows
+        ],
+    )
+    blocks.append(table)
+    blocks.append(
+        "Paper shape: DDIO shows ~no MLC activity but rising LLC WBs; IDIO"
+        "\nadmits data to the idle MLC and invalidates after TX; the class-1"
+        "\nvariant pushes payload DRAM writes ~= RX bandwidth."
+    )
+    return FigureReport("fig11", "L2Fwd timelines", rows, "\n".join(blocks), results)
+
+
+def _fig11_row(name: str, result: ExperimentResult) -> Dict[str, object]:
+    return {
+        "config": name,
+        "mlc_wb": result.window.mlc_writebacks,
+        "llc_wb": result.window.llc_writebacks,
+        "dram_wr": result.window.dram_writes,
+        "direct_dram_wr": result.server.stats.counters.get("direct_dram_writes"),
+        "tx_packets": result.server.nic.total_tx,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — p50/p99 packet latency, solo and co-run
+# ---------------------------------------------------------------------------
+
+def fig12(
+    burst_rates: Sequence[float] = (100.0, 25.0, 10.0),
+    ring_size: int = 1024,
+    include_corun: bool = True,
+) -> FigureReport:
+    """Fig. 12: tail latency of TouchDrop under DDIO vs IDIO."""
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {}
+    scenarios = [("solo", False)] + ([("corun", True)] if include_corun else [])
+
+    baselines: Dict[Tuple[str, float], ExperimentResult] = {}
+    for scenario, antagonist in scenarios:
+        for rate in burst_rates:
+            for name in ("ddio", "idio"):
+                policy = policies.policy_by_name(name)
+                exp = _bursty_experiment(
+                    f"fig12-{name}-{rate:g}g-{scenario}",
+                    rate,
+                    ring_size,
+                    antagonist=antagonist,
+                ).with_policy(policy)
+                result = run_experiment(exp)
+                results[exp.name] = result
+                if name == "ddio":
+                    baselines[(scenario, rate)] = result
+                    continue
+                base = baselines[(scenario, rate)]
+                paper = (
+                    PAPER_FIG12_P99_REDUCTION_SOLO
+                    if scenario == "solo"
+                    else PAPER_FIG12_P99_REDUCTION_CORUN
+                ).get(rate)
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "rate_gbps": rate,
+                        "ddio_p50_us": _us_f(base.p50_ns),
+                        "idio_p50_us": _us_f(result.p50_ns),
+                        "ddio_p99_us": _us_f(base.p99_ns),
+                        "idio_p99_us": _us_f(result.p99_ns),
+                        "p99_reduction_pct": metrics.reduction_percent(
+                            base.p99_ns or 0.0, result.p99_ns or 0.0
+                        ),
+                        "paper_p99_reduction_pct": paper,
+                    }
+                )
+
+    table = format_table(
+        [
+            "scenario",
+            "rate",
+            "DDIO p50 us",
+            "IDIO p50 us",
+            "DDIO p99 us",
+            "IDIO p99 us",
+            "p99 cut %",
+            "paper p99 cut %",
+        ],
+        [
+            [
+                r["scenario"],
+                r["rate_gbps"],
+                r["ddio_p50_us"],
+                r["idio_p50_us"],
+                r["ddio_p99_us"],
+                r["idio_p99_us"],
+                r["p99_reduction_pct"],
+                r["paper_p99_reduction_pct"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 12 — TouchDrop latency percentiles (1514 B packets)",
+    )
+    return FigureReport("fig12", "Tail latency", rows, table, results)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — steady-traffic writeback timelines
+# ---------------------------------------------------------------------------
+
+def fig13(
+    rate_gbps_per_nf: float = 10.0,
+    ring_size: int = 1024,
+    duration_us: float = 1500.0,
+) -> FigureReport:
+    """Fig. 13: steady 10 Gbps/NF TouchDrop under DDIO vs IDIO."""
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {}
+    blocks: List[str] = [
+        f"Fig. 13 — steady {rate_gbps_per_nf:g} Gbps per NF (TouchDrop)"
+    ]
+    for name in ("ddio", "idio"):
+        policy = policies.policy_by_name(name)
+        exp = Experiment(
+            name=f"fig13-{name}",
+            server=ServerConfig(app="touchdrop", ring_size=ring_size),
+            traffic="steady",
+            steady_rate_gbps_per_nf=rate_gbps_per_nf,
+            steady_duration=units.microseconds(duration_us),
+        ).with_policy(policy)
+        result = run_experiment(exp)
+        results[name] = result
+        rows.append(
+            {
+                "policy": name,
+                "mlc_wb": result.window.mlc_writebacks,
+                "llc_wb": result.window.llc_writebacks,
+                "dram_wr": result.window.dram_writes,
+                "rx_drops": result.rx_drops,
+            }
+        )
+        blocks.append(timeline_block(f"{name} MLC WB", result.timeline("mlc_writebacks")))
+        blocks.append(timeline_block(f"{name} LLC WB", result.timeline("llc_writebacks")))
+
+    table = format_table(
+        ["policy", "MLC WB", "LLC WB", "DRAM wr", "drops"],
+        [[r["policy"], r["mlc_wb"], r["llc_wb"], r["dram_wr"], r["rx_drops"]] for r in rows],
+    )
+    blocks.append(table)
+    blocks.append(
+        "Paper shape: DDIO shows consistent MLC (and some LLC) WBs at steady"
+        "\nload; IDIO's self-invalidation removes most of them."
+    )
+    return FigureReport("fig13", "Steady-traffic writebacks", rows, "\n".join(blocks), results)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — sensitivity to mlcTHR
+# ---------------------------------------------------------------------------
+
+def fig14(
+    thresholds_mtps: Sequence[float] = (10.0, 25.0, 50.0, 75.0, 100.0),
+    burst_rate_gbps: float = 100.0,
+    ring_size: int = 1024,
+) -> FigureReport:
+    """Fig. 14: sweep mlcTHR from 10 to 100 MTPS at the 100 Gbps burst."""
+    baseline = run_experiment(
+        _bursty_experiment("fig14-ddio", burst_rate_gbps, ring_size)
+    )
+    rows: List[Dict[str, object]] = []
+    results: Dict[str, ExperimentResult] = {"ddio": baseline}
+    for thr in thresholds_mtps:
+        policy = policies.idio().with_threshold(thr)
+        exp = _bursty_experiment(
+            f"fig14-idio-thr{thr:g}", burst_rate_gbps, ring_size
+        ).with_policy(policy)
+        result = run_experiment(exp)
+        results[f"thr{thr:g}"] = result
+        normalized = result.normalized_to(baseline)
+        rows.append({"mlc_thr_mtps": thr, **normalized})
+
+    table = format_table(
+        ["mlcTHR (MTPS)", "MLC WB", "LLC WB", "DRAM rd", "DRAM wr", "Exe time"],
+        [
+            [
+                r["mlc_thr_mtps"],
+                r.get("mlc_writebacks"),
+                r.get("llc_writebacks"),
+                r.get("dram_reads"),
+                r.get("dram_writes"),
+                r.get("exe_time"),
+            ]
+            for r in rows
+        ],
+        title="Fig. 14 — IDIO/DDIO ratios vs mlcTHR (100 Gbps burst; flat = insensitive)",
+    )
+    return FigureReport("fig14", "mlcTHR sensitivity", rows, table, results)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _us(ticks: Optional[int]) -> Optional[float]:
+    if ticks is None:
+        return None
+    return units.to_microseconds(ticks)
+
+
+def _us_f(ns: Optional[float]) -> Optional[float]:
+    if ns is None:
+        return None
+    return ns / 1000.0
+
+
+def _paper_norm(table: Dict[float, float], rate: float) -> Optional[float]:
+    """Convert a paper 'X % reduction' entry into a normalized ratio."""
+    pct = table.get(rate)
+    if pct is None:
+        return None
+    return 1.0 - pct / 100.0

@@ -1,0 +1,78 @@
+"""ASCII reporting helpers for the figure/table benchmarks.
+
+Every benchmark prints its results as a plain-text table with a
+"paper" column (the value the paper reports) next to a "measured" column
+so a reader can eyeball the reproduction shape without plotting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def sparkline(series: Sequence[Tuple[float, float]], width: int = 60) -> str:
+    """A coarse unicode sparkline of a (t, value) series for timelines."""
+    if not series:
+        return "(empty)"
+    values = [v for _, v in series]
+    if len(values) > width:
+        # Downsample by max-pooling so spikes stay visible.
+        chunk = -(-len(values) // width)
+        values = [max(values[i : i + chunk]) for i in range(0, len(values), chunk)]
+    peak = max(values) or 1.0
+    glyphs = " ▁▂▃▄▅▆▇█"
+    return "".join(glyphs[min(8, int(v / peak * 8))] for v in values)
+
+
+def timeline_block(
+    name: str, series: Sequence[Tuple[float, float]], unit: str = "MTPS"
+) -> str:
+    """A labeled sparkline with its peak annotated."""
+    peak = max((v for _, v in series), default=0.0)
+    return f"{name:<28} peak={peak:8.2f} {unit}  |{sparkline(series)}|"

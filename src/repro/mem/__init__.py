@@ -1,0 +1,45 @@
+"""Memory-hierarchy substrate: caches, DRAM, and the non-inclusive data paths."""
+
+from .cache import CacheConfig, SetAssociativeCache
+from .dram import DRAM, BankedDRAM
+from .hierarchy import (
+    AccessResult,
+    HierarchyConfig,
+    MemoryHierarchy,
+    default_l1_config,
+    default_llc_config,
+    default_mlc_config,
+)
+from .line import LINE_SIZE, CacheLine, line_address, lines_spanning, num_lines
+from .llc import NonInclusiveLLC, SnoopFilterDirectory
+from .mlc import PrivateCache
+from .replacement import LRUPolicy, RandomPolicy, TreePLRUPolicy, make_policy
+from .stats import Counter, EventLog, StatsBundle
+
+__all__ = [
+    "AccessResult",
+    "BankedDRAM",
+    "CacheConfig",
+    "CacheLine",
+    "Counter",
+    "DRAM",
+    "EventLog",
+    "HierarchyConfig",
+    "LINE_SIZE",
+    "LRUPolicy",
+    "MemoryHierarchy",
+    "NonInclusiveLLC",
+    "PrivateCache",
+    "RandomPolicy",
+    "SetAssociativeCache",
+    "SnoopFilterDirectory",
+    "StatsBundle",
+    "TreePLRUPolicy",
+    "default_l1_config",
+    "default_llc_config",
+    "default_mlc_config",
+    "line_address",
+    "lines_spanning",
+    "make_policy",
+    "num_lines",
+]

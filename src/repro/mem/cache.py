@@ -1,0 +1,189 @@
+"""Generic set-associative cache with way masks.
+
+This is the building block for both the private MLC and the shared LLC.
+Way masks are how the two partitioning features of the paper are modeled:
+
+* DDIO write-allocates may only land in the first ``ddio_ways`` ways of the
+  LLC (the "DDIO ways" of Fig. 1);
+* CAT-style partitioning restricts a core's fills to a subset of ways
+  (the ``_1way`` configurations of Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .line import LINE_SIZE, CacheLine, line_address
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    ``latency`` is in simulator ticks and charged per access by the caller
+    (the hierarchy), not inside the cache container itself.
+    """
+
+    name: str
+    size_bytes: int
+    assoc: int
+    latency: int
+    mshrs: int = 32
+    replacement: str = "lru"
+    line_size: int = LINE_SIZE
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.assoc * self.line_size)
+        if sets <= 0:
+            raise ValueError(f"{self.name}: size too small for geometry")
+        return sets
+
+    def validate(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_size):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*line_size ({self.assoc}*{self.line_size})"
+            )
+        if self.assoc <= 0:
+            raise ValueError(f"{self.name}: associativity must be positive")
+
+
+class SetAssociativeCache:
+    """A set-associative cache storing :class:`CacheLine` objects.
+
+    Lookup/insert/remove are O(assoc).  The container holds no timing; it
+    is pure state plus replacement bookkeeping.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        config.validate()
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self._sets: List[List[Optional[CacheLine]]] = [
+            [None] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._where: Dict[int, Tuple[int, int]] = {}
+        self.policy: ReplacementPolicy = make_policy(
+            config.replacement, self.num_sets, self.assoc
+        )
+
+    # -- addressing ---------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.config.line_size) % self.num_sets
+
+    # -- queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, addr: int) -> bool:
+        return line_address(addr) in self._where
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Return the resident line without touching recency state."""
+        loc = self._where.get(line_address(addr))
+        if loc is None:
+            return None
+        return self._sets[loc[0]][loc[1]]
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Return the resident line and update recency (a cache hit)."""
+        addr = line_address(addr)
+        loc = self._where.get(addr)
+        if loc is None:
+            return None
+        set_idx, way = loc
+        self.policy.on_access(set_idx, way)
+        return self._sets[set_idx][way]
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over all resident lines (test/diagnostic use)."""
+        for cache_set in self._sets:
+            for entry in cache_set:
+                if entry is not None:
+                    yield entry
+
+    def occupancy_by_origin(self) -> Dict[str, int]:
+        """Count resident lines by their ``origin`` tag (DMA bloat stats)."""
+        counts: Dict[str, int] = {}
+        for entry in self.lines():
+            counts[entry.origin] = counts.get(entry.origin, 0) + 1
+        return counts
+
+    # -- mutation -----------------------------------------------------
+
+    def insert(
+        self,
+        line: CacheLine,
+        way_mask: Optional[Sequence[int]] = None,
+    ) -> Optional[CacheLine]:
+        """Insert ``line``; return the evicted victim line, if any.
+
+        ``way_mask`` restricts which ways the fill may use (and therefore
+        which resident lines may be evicted).  If the line is already
+        resident this degenerates to an in-place update (dirty OR-ed in,
+        recency touched) and returns ``None``.
+        """
+        addr = line.addr
+        existing_loc = self._where.get(addr)
+        if existing_loc is not None:
+            set_idx, way = existing_loc
+            resident = self._sets[set_idx][way]
+            assert resident is not None
+            resident.dirty = resident.dirty or line.dirty
+            resident.origin = line.origin
+            resident.owner = line.owner
+            self.policy.on_access(set_idx, way)
+            return None
+
+        set_idx = self.set_index(addr)
+        ways = range(self.assoc) if way_mask is None else way_mask
+        ways = list(ways)
+        if not ways:
+            raise ValueError(f"{self.config.name}: empty way mask")
+        for w in ways:
+            if w < 0 or w >= self.assoc:
+                raise ValueError(
+                    f"{self.config.name}: way {w} outside 0..{self.assoc - 1}"
+                )
+
+        cache_set = self._sets[set_idx]
+        victim: Optional[CacheLine] = None
+        target_way: Optional[int] = None
+        for w in ways:
+            if cache_set[w] is None:
+                target_way = w
+                break
+        if target_way is None:
+            target_way = self.policy.victim(set_idx, ways)
+            victim = cache_set[target_way]
+            assert victim is not None
+            del self._where[victim.addr]
+            self.policy.on_evict(set_idx, target_way)
+
+        cache_set[target_way] = line
+        self._where[addr] = (set_idx, target_way)
+        self.policy.on_access(set_idx, target_way)
+        return victim
+
+    def remove(self, addr: int) -> Optional[CacheLine]:
+        """Remove and return the line at ``addr`` (no writeback implied)."""
+        addr = line_address(addr)
+        loc = self._where.pop(addr, None)
+        if loc is None:
+            return None
+        set_idx, way = loc
+        line = self._sets[set_idx][way]
+        self._sets[set_idx][way] = None
+        self.policy.on_evict(set_idx, way)
+        return line
+
+    def clear(self) -> None:
+        for set_idx in range(self.num_sets):
+            self._sets[set_idx] = [None] * self.assoc
+        self._where.clear()

@@ -1,0 +1,159 @@
+"""DRAM model.
+
+The paper's platform uses DDR4-3200 (Table I).  The phenomena under study
+are cache-resident (writeback rates, DMA bloating), so DRAM is modeled as a
+fixed-latency, bandwidth-accounted sink: every read/write is counted and
+timestamped so the harness can report DRAM read/write bandwidth exactly the
+way Fig. 4 and Fig. 10 do.  An optional peak-bandwidth throttle adds queuing
+delay when the instantaneous demand exceeds the channel capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import units
+from .line import LINE_SIZE
+from .stats import StatsBundle
+
+
+class DRAM:
+    """Fixed-latency DRAM with bandwidth accounting.
+
+    ``peak_gbps`` (if set) enforces a simple service-rate model: back-to-back
+    line transfers cannot complete faster than the peak bandwidth allows, and
+    the returned latency includes the queueing delay.
+    """
+
+    def __init__(
+        self,
+        stats: StatsBundle,
+        latency: int = units.nanoseconds(70),
+        peak_gbps: Optional[float] = None,
+        name: str = "dram",
+    ) -> None:
+        self.stats = stats
+        self.latency = latency
+        self.peak_gbps = peak_gbps
+        self.name = name
+        self._next_free = 0
+        if peak_gbps is not None:
+            self._service_time = units.transfer_time(LINE_SIZE, peak_gbps)
+        else:
+            self._service_time = 0
+
+    def _service(self, now: int) -> int:
+        """Queueing delay under the peak-bandwidth throttle."""
+        if self._service_time == 0:
+            return 0
+        start = max(now, self._next_free)
+        self._next_free = start + self._service_time
+        return (start + self._service_time) - now
+
+    def read(self, addr: int, now: int) -> int:
+        """Perform a line read; returns total latency in ticks."""
+        self.stats.bump("dram_reads", now)
+        return self.latency + self._service(now)
+
+    def write(self, addr: int, now: int) -> int:
+        """Perform a line write; returns total latency in ticks."""
+        self.stats.bump("dram_writes", now)
+        return self.latency + self._service(now)
+
+    @property
+    def reads(self) -> int:
+        return self.stats.counters.get("dram_reads")
+
+    @property
+    def writes(self) -> int:
+        return self.stats.counters.get("dram_writes")
+
+    def bandwidth_gbps(self, stream: str, start: int, end: int) -> float:
+        """Average DRAM bandwidth for ``dram_reads``/``dram_writes`` over a window."""
+        count = self.stats.events.count_between(stream, start, end)
+        return units.bytes_to_gbps(count * LINE_SIZE, end - start)
+
+
+class BankedDRAM(DRAM):
+    """DDR-style DRAM with channels, banks, and open-row tracking.
+
+    A closer model of the DDR4-3200 parts in Table I, for experiments
+    where access *pattern* matters (row-buffer locality of streaming DMA
+    vs the antagonist's random walk):
+
+    * lines interleave across ``channels`` (consecutive lines alternate
+      channels, as with fine-grained channel interleaving);
+    * each channel has ``banks`` banks with one open row of ``row_bytes``;
+    * a row hit costs ``t_cas``; a row miss costs ``t_rp + t_rcd + t_cas``
+      (precharge + activate + access);
+    * each channel is a serial server at the channel's data rate, so
+      bursts of line transfers queue per channel.
+
+    Row-hit/miss counts are exposed through the shared stats bundle
+    (``dram_row_hits`` / ``dram_row_misses``).
+    """
+
+    def __init__(
+        self,
+        stats: StatsBundle,
+        channels: int = 3,
+        banks: int = 16,
+        row_bytes: int = 8192,
+        t_cas: int = units.nanoseconds(15),
+        t_rcd: int = units.nanoseconds(15),
+        t_rp: int = units.nanoseconds(15),
+        channel_gbps: float = 200.0,
+        name: str = "dram",
+    ) -> None:
+        super().__init__(stats, latency=t_cas, peak_gbps=None, name=name)
+        if channels <= 0 or banks <= 0 or row_bytes < LINE_SIZE:
+            raise ValueError("invalid DRAM geometry")
+        self.channels = channels
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.t_cas = t_cas
+        self.t_rcd = t_rcd
+        self.t_rp = t_rp
+        self._row_miss_penalty = t_rp + t_rcd
+        self._channel_free = [0] * channels
+        self._service_per_line = units.transfer_time(LINE_SIZE, channel_gbps / channels)
+        #: open_row[channel][bank] -> row id (or -1).
+        self._open_row = [[-1] * banks for _ in range(channels)]
+
+    def _locate(self, addr: int) -> tuple:
+        line = addr // LINE_SIZE
+        channel = line % self.channels
+        lines_per_row = self.row_bytes // LINE_SIZE
+        row_global = line // lines_per_row
+        bank = row_global % self.banks
+        row = row_global // self.banks
+        return channel, bank, row
+
+    def _access(self, addr: int, now: int) -> int:
+        channel, bank, row = self._locate(addr)
+        latency = self.t_cas
+        if self._open_row[channel][bank] == row:
+            self.stats.counters.add("dram_row_hits")
+        else:
+            self.stats.counters.add("dram_row_misses")
+            self._open_row[channel][bank] = row
+            latency += self._row_miss_penalty
+        # Channel bus contention.
+        start = max(now, self._channel_free[channel])
+        finish = start + self._service_per_line
+        self._channel_free[channel] = finish
+        return latency + (finish - now - self._service_per_line)
+
+    def read(self, addr: int, now: int) -> int:
+        self.stats.bump("dram_reads", now)
+        return self._access(addr, now)
+
+    def write(self, addr: int, now: int) -> int:
+        self.stats.bump("dram_writes", now)
+        return self._access(addr, now)
+
+    def row_hit_rate(self) -> float:
+        hits = self.stats.counters.get("dram_row_hits")
+        misses = self.stats.counters.get("dram_row_misses")
+        total = hits + misses
+        return hits / total if total else 0.0

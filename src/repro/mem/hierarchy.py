@@ -1,0 +1,499 @@
+"""The non-inclusive memory hierarchy: data paths of Fig. 1 and Fig. 2.
+
+This module wires per-core private caches (optional L1D + MLC), the shared
+non-inclusive LLC with DDIO ways, and DRAM into one object exposing the
+five operations the rest of the system uses:
+
+* :meth:`MemoryHierarchy.cpu_access` — demand load/store from a core;
+* :meth:`MemoryHierarchy.pcie_write` — inbound DMA (DDIO ingress, Fig. 1);
+* :meth:`MemoryHierarchy.pcie_read` — outbound DMA (egress, Fig. 1);
+* :meth:`MemoryHierarchy.prefetch_fill` — MLC prefetch issued on IDIO hints;
+* :meth:`MemoryHierarchy.invalidate` — the paper's new invalidate-without-
+  writeback cache maintenance operation (§IV-A / §V-D).
+
+Every state transition bumps the shared :class:`~repro.mem.stats.StatsBundle`
+so experiments can reconstruct the paper's writeback timelines, and dirty
+MLC→LLC writebacks additionally notify registered listeners — that is the
+signal the IDIO controller's control plane samples (``mlcWB`` in Alg. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim import units
+from .cache import CacheConfig
+from .dram import DRAM
+from .line import CacheLine, line_address
+from .llc import NonInclusiveLLC
+from .mlc import PrivateCache
+from .stats import StatsBundle
+
+
+def default_l1_config(freq_ghz: float = 3.0) -> CacheConfig:
+    """Table I L1D: 64 KB, 2-way, 2 cycles."""
+    return CacheConfig("l1d", 64 * 1024, 2, units.cycles(2, freq_ghz), mshrs=6)
+
+
+def default_mlc_config(freq_ghz: float = 3.0, size_bytes: int = 1024 * 1024) -> CacheConfig:
+    """Table I L2 (MLC): 1 MB, 8-way, 12 cycles."""
+    return CacheConfig("mlc", size_bytes, 8, units.cycles(12, freq_ghz), mshrs=16)
+
+
+def default_llc_config(
+    freq_ghz: float = 3.0, size_bytes: int = 3 * 1024 * 1024
+) -> CacheConfig:
+    """Table I L3: 1.5 MB/core, 12-way, 24 cycles.
+
+    The evaluation (§III Obs. 4) scales the LLC to 3 MB total for the
+    two-NF-core experiments; that is the default here.
+    """
+    return CacheConfig("llc", size_bytes, 12, units.cycles(24, freq_ghz), mshrs=32)
+
+
+@dataclass
+class HierarchyConfig:
+    """Full hierarchy geometry.  Defaults reproduce Table I (scaled LLC)."""
+
+    num_cores: int = 2
+    freq_ghz: float = 3.0
+    l1_enabled: bool = True
+    l1: Optional[CacheConfig] = None
+    #: Per-core MLC configs; entries may be ``None`` to take the default.
+    #: (The LLCAntagonist core uses a 256 KB MLC per §VI.)
+    mlc_sizes: Optional[List[int]] = None
+    mlc: Optional[CacheConfig] = None
+    llc: Optional[CacheConfig] = None
+    ddio_ways: int = 2
+    llc_inclusive: bool = False
+    directory_capacity: Optional[int] = None
+    #: NUCA slice count (0 = monolithic LLC) and per-ring-hop latency.
+    llc_slices: int = 0
+    llc_hop_latency: int = units.cycles(2)
+    dram_latency: int = units.nanoseconds(70)
+    dram_peak_gbps: Optional[float] = None
+    #: "fixed" = constant-latency DRAM; "banked" = channels/banks with
+    #: open-row tracking (see mem.dram.BankedDRAM).
+    dram_model: str = "fixed"
+
+    def resolved_l1(self) -> CacheConfig:
+        return self.l1 or default_l1_config(self.freq_ghz)
+
+    def resolved_mlc(self, core: int) -> CacheConfig:
+        if self.mlc is not None:
+            return self.mlc
+        size = 1024 * 1024
+        if self.mlc_sizes is not None and core < len(self.mlc_sizes):
+            override = self.mlc_sizes[core]
+            if override:
+                size = override
+        return default_mlc_config(self.freq_ghz, size)
+
+    def resolved_llc(self) -> CacheConfig:
+        return self.llc or default_llc_config(self.freq_ghz)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access: latency plus the serving level."""
+
+    latency: int
+    level: str  # "l1" | "mlc" | "llc" | "dram"
+
+
+class MemoryHierarchy:
+    """Cacheline-granular model of the non-inclusive hierarchy."""
+
+    def __init__(self, config: HierarchyConfig, stats: Optional[StatsBundle] = None) -> None:
+        self.config = config
+        self.stats = stats or StatsBundle()
+        self.l1: List[Optional[PrivateCache]] = []
+        self.mlc: List[PrivateCache] = []
+        for core in range(config.num_cores):
+            if config.l1_enabled:
+                self.l1.append(PrivateCache(config.resolved_l1(), core, self.stats))
+            else:
+                self.l1.append(None)
+            self.mlc.append(PrivateCache(config.resolved_mlc(core), core, self.stats))
+        self.llc = NonInclusiveLLC(
+            config.resolved_llc(),
+            self.stats,
+            ddio_ways=config.ddio_ways,
+            directory_capacity=config.directory_capacity,
+            inclusive=config.llc_inclusive,
+            slices=config.llc_slices,
+            hop_latency=config.llc_hop_latency,
+        )
+        if config.dram_model == "banked":
+            from .dram import BankedDRAM
+
+            self.dram: DRAM = BankedDRAM(self.stats)
+        elif config.dram_model == "fixed":
+            self.dram = DRAM(
+                self.stats,
+                latency=config.dram_latency,
+                peak_gbps=config.dram_peak_gbps,
+            )
+        else:
+            raise ValueError(f"unknown dram_model {config.dram_model!r}")
+        #: Called with (core, now) on every dirty MLC->LLC writeback.
+        self.mlc_wb_listeners: List[Callable[[int, int], None]] = []
+        #: Called with (addr, now) on every line evicted from LLC to DRAM.
+        self.llc_wb_listeners: List[Callable[[int, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _notify_mlc_wb(self, core: int, now: int) -> None:
+        self.stats.bump("mlc_writebacks", now)
+        self.stats.bump(f"mlc_writebacks_c{core}", now, log=False)
+        for listener in self.mlc_wb_listeners:
+            listener(core, now)
+
+    def _notify_llc_wb(self, addr: int, now: int) -> None:
+        self.stats.bump("llc_writebacks", now)
+        for listener in self.llc_wb_listeners:
+            listener(addr, now)
+
+    def _drop_private(self, core: int, addr: int) -> Optional[CacheLine]:
+        """Remove ``addr`` from core's L1+MLC; returns the line (dirtiest view)."""
+        merged: Optional[CacheLine] = None
+        l1 = self.l1[core]
+        if l1 is not None:
+            l1_line = l1.remove(addr)
+            if l1_line is not None:
+                merged = l1_line
+        mlc_line = self.mlc[core].remove(addr)
+        if mlc_line is not None:
+            if merged is not None:
+                mlc_line.dirty = mlc_line.dirty or merged.dirty
+            merged = mlc_line
+        return merged
+
+    def _llc_victim_to_dram(self, victim: CacheLine, now: int) -> None:
+        """Handle a line evicted from the LLC data array."""
+        if self.llc.inclusive:
+            # Inclusive LLC: eviction back-invalidates private copies.
+            for core in self.llc.directory.owners(victim.addr):
+                private = self._drop_private(core, victim.addr)
+                self.stats.bump("back_invalidations", now, log=False)
+                if private is not None and private.dirty:
+                    victim.dirty = True
+            self.llc.directory.remove(victim.addr)
+        if victim.dirty:
+            self.dram.write(victim.addr, now)
+            self._notify_llc_wb(victim.addr, now)
+        else:
+            self.stats.bump("llc_clean_drops", now, log=False)
+
+    def _fill_mlc(self, core: int, line: CacheLine, now: int) -> None:
+        """Fill ``line`` into core's MLC, handling the non-inclusive victim path."""
+        victim = self.mlc[core].fill(line, now)
+        if victim is None:
+            return
+        # Keep L1 included in MLC: back-invalidate the victim's L1 copy.
+        l1 = self.l1[core]
+        if l1 is not None:
+            l1_copy = l1.remove(victim.addr)
+            if l1_copy is not None and l1_copy.dirty:
+                victim.dirty = True
+        self.llc.directory.remove(victim.addr, core)
+        if self.llc.inclusive:
+            # The LLC already holds a copy; just propagate dirtiness.
+            resident = self.llc.peek(victim.addr)
+            if resident is not None:
+                if victim.dirty:
+                    resident.dirty = True
+                    self._notify_mlc_wb(core, now)
+                else:
+                    self.stats.bump("mlc_clean_drops", now, log=False)
+                return
+            # Fall through (copy may have been evicted already).
+        # Non-inclusive victim-cache fill: the LLC is populated by MLC
+        # evictions, clean or dirty, and the fill may land in ANY way,
+        # including non-DDIO ways -> DMA bloating (§III Obs. 3).  This
+        # MLC->LLC transaction is what the paper's "MLC writeback" counters
+        # measure.
+        self._notify_mlc_wb(core, now)
+        if victim.dirty:
+            self.stats.counters.add("mlc_writebacks_dirty")
+        else:
+            self.stats.counters.add("mlc_writebacks_clean")
+        llc_victim = self.llc.fill_cpu(victim, now, core=core)
+        if llc_victim is not None:
+            self._llc_victim_to_dram(llc_victim, now)
+
+    def _fill_l1(self, core: int, addr: int, dirty: bool, now: int) -> None:
+        l1 = self.l1[core]
+        if l1 is None:
+            return
+        victim = l1.fill(CacheLine(addr, dirty=dirty, owner=core), now)
+        if victim is not None and victim.dirty:
+            # Dirty L1 victim merges into the MLC copy (L1 ⊆ MLC by design).
+            mlc_line = self.mlc[core].peek(victim.addr)
+            if mlc_line is not None:
+                mlc_line.dirty = True
+            else:
+                # MLC copy already gone; push straight to LLC.
+                self._notify_mlc_wb(core, now)
+                llc_victim = self.llc.fill_cpu(victim, now, core=core)
+                if llc_victim is not None:
+                    self._llc_victim_to_dram(llc_victim, now)
+
+    # ------------------------------------------------------------------
+    # demand path (Fig. 2)
+    # ------------------------------------------------------------------
+
+    def cpu_access(self, core: int, addr: int, is_write: bool, now: int) -> AccessResult:
+        """A demand load/store from ``core``; returns latency and hit level."""
+        addr = line_address(addr)
+        latency = 0
+        l1 = self.l1[core]
+        if l1 is not None:
+            latency += l1.config.latency
+            hit = l1.lookup(addr)
+            if hit is not None:
+                if is_write:
+                    hit.dirty = True
+                    mlc_copy = self.mlc[core].peek(addr)
+                    if mlc_copy is not None:
+                        mlc_copy.dirty = True
+                self.stats.counters.add("l1_hits")
+                return AccessResult(latency, "l1")
+
+        mlc = self.mlc[core]
+        latency += mlc.config.latency
+        hit = mlc.lookup(addr)
+        if hit is not None:
+            if is_write:
+                hit.dirty = True
+            self._fill_l1(core, addr, False, now)
+            self.stats.counters.add("mlc_hits")
+            return AccessResult(latency, "mlc")
+
+        # Another core's private caches may own the line: the directory
+        # filters the snoop and the data migrates cache-to-cache (our
+        # workloads never share lines, but the model must stay coherent
+        # for ones that do).
+        remote_owners = self.llc.directory.owners(addr) - {core}
+        if remote_owners:
+            migrated: Optional[CacheLine] = None
+            for owner in remote_owners:
+                line = self._drop_private(owner, addr)
+                self.llc.directory.remove(addr, owner)
+                if line is not None and (migrated is None or line.dirty):
+                    migrated = line
+            if migrated is not None:
+                self.stats.bump("c2c_transfers", now, log=False)
+                latency += self.llc.config.latency  # snoop round trip
+                migrated.owner = core
+                if is_write:
+                    migrated.dirty = True
+                self._fill_mlc(core, migrated, now)
+                for evicted_entry in self.llc.directory.add(addr, core):
+                    self._directory_back_invalidate(evicted_entry, now)
+                self._fill_l1(core, addr, False, now)
+                return AccessResult(latency, "c2c")
+
+        latency += self.llc.access_latency(core, addr)
+        llc_line = self.llc.lookup(addr)
+        if llc_line is not None:
+            level = "llc"
+            self.stats.counters.add("llc_hits")
+            if self.llc.inclusive:
+                new_line = CacheLine(addr, dirty=False, origin=llc_line.origin, owner=core)
+            else:
+                # Non-inclusive: data moves up, tag moves to the directory
+                # (steps A-2.1/B-2.1 of Fig. 2).
+                self.llc.remove(addr)
+                new_line = CacheLine(
+                    addr, dirty=llc_line.dirty, origin=llc_line.origin, owner=core
+                )
+        else:
+            level = "dram"
+            latency += self.dram.read(addr, now)
+            self.stats.counters.add("llc_misses")
+            new_line = CacheLine(addr, dirty=False, origin="cpu", owner=core)
+            if self.llc.inclusive:
+                llc_victim = self.llc.fill_cpu(
+                    CacheLine(addr, dirty=False, origin="cpu", owner=core), now, core=core
+                )
+                if llc_victim is not None:
+                    self._llc_victim_to_dram(llc_victim, now)
+
+        if is_write:
+            new_line.dirty = True
+        self._fill_mlc(core, new_line, now)
+        for evicted_entry in self.llc.directory.add(addr, core):
+            self._directory_back_invalidate(evicted_entry, now)
+        self._fill_l1(core, addr, False, now)
+        return AccessResult(latency, level)
+
+    def _directory_back_invalidate(self, entry, now: int) -> None:
+        """A directory eviction forces the MLC copies out (non-inclusive)."""
+        for core in entry.owners:
+            line = self._drop_private(core, entry.addr)
+            self.stats.bump("directory_back_invalidations", now, log=False)
+            if line is not None and line.dirty:
+                self._notify_mlc_wb(core, now)
+                llc_victim = self.llc.fill_cpu(line, now, core=core)
+                if llc_victim is not None:
+                    self._llc_victim_to_dram(llc_victim, now)
+
+    # ------------------------------------------------------------------
+    # PCIe ingress (Fig. 1, DDIO write path)
+    # ------------------------------------------------------------------
+
+    def pcie_write(self, addr: int, now: int, placement: str = "llc") -> int:
+        """A full-cacheline inbound DMA write.
+
+        ``placement`` is ``"llc"`` for the normal DDIO path or ``"dram"``
+        for IDIO's selective direct DRAM access (M3).  Returns the modeled
+        transaction latency.
+        """
+        addr = line_address(addr)
+        self.stats.bump("pcie_writes", now)
+        latency = self.llc.config.latency
+
+        # Invalidate any private (MLC/L1) copies — steps P1-1/P2-1 of Fig. 1.
+        owners = self.llc.directory.owners(addr)
+        for core in owners:
+            self._drop_private(core, addr)
+            self.stats.bump("mlc_invalidations", now)
+            self.stats.bump(f"mlc_invalidations_c{core}", now, log=False)
+        if owners:
+            self.llc.directory.remove(addr)
+
+        if placement == "dram":
+            # Selective direct DRAM access: drop any (stale) LLC copy and
+            # write the line straight to memory.
+            stale = self.llc.remove(addr)
+            if stale is not None:
+                self.stats.bump("llc_drop_on_direct_dram", now, log=False)
+            latency = self.dram.write(addr, now)
+            self.stats.bump("direct_dram_writes", now)
+            return latency
+        if placement != "llc":
+            raise ValueError(f"unknown placement {placement!r}")
+
+        resident = self.llc.lookup(addr)
+        if resident is not None:
+            # In-place update (P2-2 / P3-1): the line stays in whatever way
+            # it occupies and becomes dirty I/O data.
+            resident.dirty = True
+            resident.origin = "io"
+            self.stats.bump("ddio_updates", now, log=False)
+        else:
+            # Write-allocate into the DDIO ways (P1-2 / P5-1).
+            victim = self.llc.fill_io(CacheLine(addr, dirty=True, origin="io"), now)
+            self.stats.bump("ddio_allocations", now, log=False)
+            if victim is not None:
+                self._llc_victim_to_dram(victim, now)
+        return latency
+
+    # ------------------------------------------------------------------
+    # PCIe egress (Fig. 1, read path)
+    # ------------------------------------------------------------------
+
+    def pcie_read(self, addr: int, now: int) -> int:
+        """An outbound DMA read (NIC TX).  Returns the transaction latency."""
+        addr = line_address(addr)
+        self.stats.bump("pcie_reads", now, log=False)
+        latency = self.llc.config.latency
+
+        owners = self.llc.directory.owners(addr)
+        for core in owners:
+            # MLC copies are invalidated and written back to LLC (Fig. 3
+            # right): the egress read must observe the latest data.
+            line = self._drop_private(core, addr)
+            if line is None:
+                continue
+            if line.dirty:
+                self._notify_mlc_wb(core, now)
+            line.owner = -1
+            llc_victim = self.llc.fill_cpu(line, now, core=core)
+            if llc_victim is not None:
+                self._llc_victim_to_dram(llc_victim, now)
+        if owners:
+            self.llc.directory.remove(addr)
+
+        if addr in self.llc:
+            self.llc.lookup(addr)
+            return latency
+        latency += self.dram.read(addr, now)
+        return latency
+
+    # ------------------------------------------------------------------
+    # IDIO mechanisms
+    # ------------------------------------------------------------------
+
+    def prefetch_fill(self, core: int, addr: int, now: int) -> bool:
+        """Bring ``addr`` into ``core``'s MLC without stalling the core.
+
+        Used by the queued MLC prefetcher (§V-C).  Returns ``True`` when a
+        fill actually happened (miss in the private caches).
+        """
+        addr = line_address(addr)
+        if addr in self.mlc[core]:
+            return False
+        l1 = self.l1[core]
+        if l1 is not None and addr in l1:
+            return False
+        llc_line = self.llc.lookup(addr)
+        if llc_line is not None:
+            if self.llc.inclusive:
+                new_line = CacheLine(addr, dirty=False, origin=llc_line.origin, owner=core)
+            else:
+                self.llc.remove(addr)
+                new_line = CacheLine(
+                    addr, dirty=llc_line.dirty, origin=llc_line.origin, owner=core
+                )
+        else:
+            self.dram.read(addr, now)
+            new_line = CacheLine(addr, dirty=False, origin="cpu", owner=core)
+        self._fill_mlc(core, new_line, now)
+        for evicted_entry in self.llc.directory.add(addr, core):
+            self._directory_back_invalidate(evicted_entry, now)
+        self.stats.bump("mlc_prefetch_fills", now)
+        return True
+
+    def invalidate(self, core: int, addr: int, now: int, scope: str = "all") -> None:
+        """The new invalidate-without-writeback maintenance operation.
+
+        ``scope="private"`` drops only the core's L1/MLC copy (the literal
+        instruction semantics of §V-D); ``scope="all"`` additionally drops
+        any LLC copy, which is the behavior the L2Fwd evaluation relies on
+        ("invalidating consumed LLC-resident buffers", §VII).  Neither scope
+        ever writes data back — that is the entire point.
+        """
+        addr = line_address(addr)
+        dropped = self._drop_private(core, addr)
+        if dropped is not None:
+            self.llc.directory.remove(addr, core)
+            self.stats.bump("self_invalidations", now)
+        if scope == "all":
+            if self.llc.remove(addr) is not None:
+                self.stats.bump("self_invalidations_llc", now)
+        elif scope != "private":
+            raise ValueError(f"unknown invalidate scope {scope!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def where(self, addr: int) -> Dict[str, object]:
+        """Locate a line for tests/diagnostics (levels holding a copy)."""
+        addr = line_address(addr)
+        holders: Dict[str, object] = {
+            "mlc": [c for c in range(self.config.num_cores) if addr in self.mlc[c]],
+            "l1": [
+                c
+                for c in range(self.config.num_cores)
+                if self.l1[c] is not None and addr in self.l1[c]  # type: ignore[operator]
+            ],
+            "llc": addr in self.llc,
+            "directory": addr in self.llc.directory,
+        }
+        return holders

@@ -1,0 +1,266 @@
+"""Shared non-inclusive LLC with DDIO way partition and snoop-filter directory.
+
+This models the Skylake-style LLC of Fig. 1:
+
+* data ways (``assoc`` total) of which the first ``ddio_ways`` are the only
+  ways a DDIO write-allocate may fill ("DDIO" ways);
+* a snoop-filter directory ("Excl MLC" in the figure) holding the tags of
+  lines currently resident in some private MLC, used to filter coherence
+  traffic.  Directory evictions back-invalidate the MLC copy, as in real
+  non-inclusive hierarchies (this is the effect exploited by directory
+  side-channel attacks the paper cites).
+
+Inclusive mode (``inclusive=True``) is provided as a counterfactual used by
+the ablation benchmarks: in inclusive mode the LLC keeps a copy of every
+MLC-resident line and MLC evictions of clean lines need no LLC fill.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from .cache import CacheConfig, SetAssociativeCache
+from .line import CacheLine, line_address
+from .stats import StatsBundle
+
+
+class DirectoryEntry:
+    """Directory state for one MLC-resident line."""
+
+    __slots__ = ("addr", "owners")
+
+    def __init__(self, addr: int, owners: Optional[set] = None) -> None:
+        self.addr = addr
+        self.owners = owners if owners is not None else set()
+
+
+class SnoopFilterDirectory:
+    """Tag directory of MLC-resident lines with LRU-bounded capacity.
+
+    ``capacity`` of ``None`` means unbounded (the default used by the
+    reproduction configs, where the directory is provisioned to cover all
+    MLCs as on real parts).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, DirectoryEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, addr: int) -> bool:
+        return line_address(addr) in self._entries
+
+    def owners(self, addr: int) -> set:
+        entry = self._entries.get(line_address(addr))
+        return set(entry.owners) if entry else set()
+
+    def add(self, addr: int, core: int) -> List[DirectoryEntry]:
+        """Track ``addr`` as resident in ``core``'s MLC.
+
+        Returns a list of entries evicted to make room (empty when the
+        directory has space); the caller must back-invalidate those lines
+        from their owner MLCs.
+        """
+        addr = line_address(addr)
+        evicted: List[DirectoryEntry] = []
+        entry = self._entries.get(addr)
+        if entry is not None:
+            entry.owners.add(core)
+            self._entries.move_to_end(addr)
+            return evicted
+        if self.capacity is not None:
+            while len(self._entries) >= self.capacity:
+                _, old = self._entries.popitem(last=False)
+                evicted.append(old)
+        self._entries[addr] = DirectoryEntry(addr, {core})
+        return evicted
+
+    def remove(self, addr: int, core: Optional[int] = None) -> None:
+        """Drop ``core``'s residency (or the whole entry when ``core=None``)."""
+        addr = line_address(addr)
+        entry = self._entries.get(addr)
+        if entry is None:
+            return
+        if core is None:
+            del self._entries[addr]
+            return
+        entry.owners.discard(core)
+        if not entry.owners:
+            del self._entries[addr]
+
+
+class NonInclusiveLLC:
+    """The shared LLC: data array + directory + way-partition bookkeeping."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        stats: StatsBundle,
+        ddio_ways: int = 2,
+        directory_capacity: Optional[int] = None,
+        inclusive: bool = False,
+        slices: int = 0,
+        hop_latency: int = 0,
+    ) -> None:
+        """``slices > 0`` enables the NUCA model: the LLC is distributed
+        as one slice per position on a ring, a line's home slice is an
+        address hash, and an access from core ``c`` pays ``hop_latency``
+        per ring hop to the line's slice.  Slice assignment affects only
+        latency, never placement capacity (real slices are separate
+        arrays; our monolithic array approximates the aggregate, which is
+        exact for the uniform hash)."""
+        if not 0 < ddio_ways <= config.assoc:
+            raise ValueError(
+                f"ddio_ways must be in 1..{config.assoc}, got {ddio_ways}"
+            )
+        if slices < 0:
+            raise ValueError(f"slices must be non-negative, got {slices}")
+        self.config = config
+        self.stats = stats
+        self.data = SetAssociativeCache(config)
+        self.directory = SnoopFilterDirectory(directory_capacity)
+        self.ddio_ways = ddio_ways
+        self.inclusive = inclusive
+        self.slices = slices
+        self.hop_latency = hop_latency
+        #: CacheDirector-style per-line home-slice overrides.
+        self._slice_override: Dict[int, int] = {}
+        self._io_mask = list(range(ddio_ways))
+        self._all_mask = list(range(config.assoc))
+        # CPU fills may use any way, but prefer the non-DDIO ("Excl LLC")
+        # ways: empty-slot scans follow this order, so CPU data only
+        # spills into the DDIO ways when the rest of the set is full.
+        # (DMA bloating still happens — a full set's LRU victim can be
+        # anywhere — but CPU lines do not gratuitously park in the ways
+        # the next DMA write-allocate will reclaim.)
+        self._cpu_fill_order = list(range(ddio_ways, config.assoc)) + list(
+            range(ddio_ways)
+        )
+        #: per-core CAT masks; default = all ways (set_way_mask overrides).
+        self._core_masks: Dict[int, List[int]] = {}
+
+    # -- configuration -------------------------------------------------
+
+    def set_ddio_ways(self, ddio_ways: int) -> None:
+        """Reconfigure the number of DDIO ways at runtime.
+
+        This is the knob IAT-style dynamic DDIO policies turn (the paper's
+        related work [41]): growing the partition gives inbound DMA more
+        LLC room, shrinking it protects application data.  Lines already
+        resident outside the new partition stay where they are (as on real
+        hardware, where way masks only gate *future* allocations).
+        """
+        if not 0 < ddio_ways <= self.config.assoc:
+            raise ValueError(
+                f"ddio_ways must be in 1..{self.config.assoc}, got {ddio_ways}"
+            )
+        self.ddio_ways = ddio_ways
+        self._io_mask = list(range(ddio_ways))
+        self._cpu_fill_order = list(range(ddio_ways, self.config.assoc)) + list(
+            range(ddio_ways)
+        )
+
+    def set_core_way_mask(self, core: int, ways: Sequence[int]) -> None:
+        """CAT-style restriction of a core's LLC fills to ``ways``.
+
+        Used by the ``_1way`` configurations of Fig. 4.
+        """
+        ways = sorted(set(ways))
+        if not ways:
+            raise ValueError("way mask must not be empty")
+        for w in ways:
+            if w < 0 or w >= self.config.assoc:
+                raise ValueError(f"way {w} outside the LLC's {self.config.assoc} ways")
+        self._core_masks[core] = list(ways)
+
+    def core_way_mask(self, core: int) -> List[int]:
+        return list(self._core_masks.get(core, self._all_mask))
+
+    # -- NUCA slice model -----------------------------------------------
+
+    def slice_of(self, addr: int) -> int:
+        """Home slice of a line: override if present, else address hash.
+
+        The hash folds the line number's bits, approximating the Intel
+        CBo slice-selection hash's uniform spread.
+        """
+        if self.slices <= 0:
+            return 0
+        addr = line_address(addr)
+        override = self._slice_override.get(addr)
+        if override is not None:
+            return override
+        h = addr >> 6
+        h = (h ^ (h >> 7) ^ (h >> 13) ^ (h >> 21)) * 0x9E3779B1
+        return (h >> 8) % self.slices
+
+    def set_slice_override(self, addr: int, target_slice: int) -> None:
+        """Pin a line's home slice (CacheDirector-style steering)."""
+        if self.slices <= 0:
+            raise ValueError("slice override requires a sliced LLC")
+        if not 0 <= target_slice < self.slices:
+            raise ValueError(f"slice {target_slice} outside 0..{self.slices - 1}")
+        self._slice_override[line_address(addr)] = target_slice
+
+    def home_slice_of_core(self, core: int) -> int:
+        """The slice co-located with ``core`` on the ring."""
+        if self.slices <= 0:
+            return 0
+        return core % self.slices
+
+    def access_latency(self, core: int, addr: int) -> int:
+        """Latency of an access from ``core`` to ``addr``'s home slice."""
+        if self.slices <= 0:
+            return self.config.latency
+        src = self.home_slice_of_core(core)
+        dst = self.slice_of(addr)
+        hops = min((dst - src) % self.slices, (src - dst) % self.slices)
+        return self.config.latency + hops * self.hop_latency
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self.data
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        return self.data.peek(addr)
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        return self.data.lookup(addr)
+
+    def io_occupancy(self) -> int:
+        """Number of resident lines whose origin is I/O (DMA-bloat metric)."""
+        return self.data.occupancy_by_origin().get("io", 0)
+
+    # -- fills ----------------------------------------------------------
+
+    def fill_io(self, line: CacheLine, now: int) -> Optional[CacheLine]:
+        """DDIO write-allocate into the DDIO ways; returns the victim."""
+        line.origin = "io"
+        victim = self.data.insert(line, way_mask=self._io_mask)
+        if victim is not None:
+            self.stats.bump("llc_evictions", now, log=False)
+        return victim
+
+    def fill_cpu(
+        self, line: CacheLine, now: int, core: Optional[int] = None
+    ) -> Optional[CacheLine]:
+        """CPU-side fill (MLC victim or inclusive fill); any allowed way.
+
+        This is the path that produces *DMA bloating*: an MLC writeback of a
+        consumed DMA line lands in a non-DDIO way with origin ``cpu``.
+        """
+        if core is None or core not in self._core_masks:
+            mask = self._cpu_fill_order
+        else:
+            mask = self.core_way_mask(core)
+        victim = self.data.insert(line, way_mask=mask)
+        if victim is not None:
+            self.stats.bump("llc_evictions", now, log=False)
+        return victim
+
+    def remove(self, addr: int) -> Optional[CacheLine]:
+        return self.data.remove(addr)

@@ -1,0 +1,154 @@
+"""Counters and time-series statistics for the memory hierarchy.
+
+Two collection primitives are provided:
+
+* :class:`Counter` — a named bag of monotonically increasing integers,
+  mirroring perf-style hardware counters (``mlc_writebacks``,
+  ``llc_writebacks``, ``dram_writes`` ...).
+* :class:`EventLog` — per-stream timestamp logs.  Every writeback /
+  invalidation / DMA transaction appends its simulator timestamp; the
+  paper's rate timelines (Figs. 5, 9, 11, 13 — sampled at 10 us) are
+  produced afterwards by binning the log.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from ..sim import units
+
+
+class Counter:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount} for {name!r}")
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self._values)
+
+    def names(self) -> Iterable[str]:
+        return self._values.keys()
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counter({body})"
+
+
+class EventLog:
+    """Timestamp logs, one list per named event stream.
+
+    Timestamps are simulator ticks.  ``record`` is the hot path and is kept
+    to a single ``append``.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, List[int]] = defaultdict(list)
+
+    def record(self, stream: str, time: int) -> None:
+        self._streams[stream].append(time)
+
+    def count(self, stream: str) -> int:
+        return len(self._streams.get(stream, ()))
+
+    def count_between(self, stream: str, start: int, end: int) -> int:
+        """Events in ``[start, end)``; assumes timestamps are non-decreasing."""
+        times = self._streams.get(stream, [])
+        lo = _bisect_left(times, start)
+        hi = _bisect_left(times, end)
+        return hi - lo
+
+    def streams(self) -> Iterable[str]:
+        return self._streams.keys()
+
+    def timestamps(self, stream: str) -> List[int]:
+        return list(self._streams.get(stream, ()))
+
+    def rate_series(
+        self,
+        stream: str,
+        bin_ticks: int,
+        start: int = 0,
+        end: int = 0,
+    ) -> List[Tuple[int, int]]:
+        """Bin a stream into ``(bin_start_tick, count)`` pairs.
+
+        ``end`` defaults to the last timestamp (rounded up to a full bin).
+        Empty bins are included so timelines have a uniform x axis.
+        """
+        if bin_ticks <= 0:
+            raise ValueError(f"bin width must be positive, got {bin_ticks}")
+        times = self._streams.get(stream, [])
+        if end <= start:
+            end = (times[-1] + 1) if times else start
+        num_bins = max(0, -(-(end - start) // bin_ticks))
+        bins = [0] * num_bins
+        for t in times:
+            if start <= t < start + num_bins * bin_ticks:
+                bins[(t - start) // bin_ticks] += 1
+        return [(start + i * bin_ticks, c) for i, c in enumerate(bins)]
+
+    def mtps_series(
+        self,
+        stream: str,
+        bin_ticks: int,
+        start: int = 0,
+        end: int = 0,
+    ) -> List[Tuple[float, float]]:
+        """Rate series in (time_us, million-transactions-per-second).
+
+        This is the unit the paper plots (MTPS) with its 10 us sampling
+        interval.
+        """
+        series = self.rate_series(stream, bin_ticks, start, end)
+        bin_seconds = bin_ticks / units.SECOND
+        return [
+            (units.to_microseconds(t), count / bin_seconds / 1e6)
+            for t, count in series
+        ]
+
+    def reset(self) -> None:
+        self._streams.clear()
+
+
+def _bisect_left(values: List[int], target: int) -> int:
+    lo, hi = 0, len(values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if values[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class StatsBundle:
+    """Counters plus event logs, shared by every memory-hierarchy component."""
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self.events = EventLog()
+
+    def bump(self, name: str, time: int, amount: int = 1, log: bool = True) -> None:
+        """Increment a counter and (optionally) log each occurrence's time."""
+        self.counters.add(name, amount)
+        if log:
+            for _ in range(amount):
+                self.events.record(name, time)
+
+    def reset(self) -> None:
+        self.counters.reset()
+        self.events.reset()

@@ -1,0 +1,34 @@
+"""Network substrate: packets, flows, and load generators."""
+
+from .flow import make_flow, make_flows
+from .packet import (
+    APP_CLASS_LONG_USE,
+    APP_CLASS_SHORT_USE,
+    HEADER_BYTES,
+    MTU_FRAME_BYTES,
+    WIRE_OVERHEAD_BYTES,
+    FiveTuple,
+    Packet,
+)
+from .traffic import (
+    IMIX_DISTRIBUTION,
+    BurstProfile,
+    SteadyProfile,
+    TrafficGenerator,
+)
+
+__all__ = [
+    "APP_CLASS_LONG_USE",
+    "APP_CLASS_SHORT_USE",
+    "BurstProfile",
+    "FiveTuple",
+    "HEADER_BYTES",
+    "IMIX_DISTRIBUTION",
+    "MTU_FRAME_BYTES",
+    "Packet",
+    "SteadyProfile",
+    "TrafficGenerator",
+    "WIRE_OVERHEAD_BYTES",
+    "make_flow",
+    "make_flows",
+]

@@ -1,0 +1,29 @@
+"""Flow construction helpers.
+
+Experiments pin one application instance per core; each instance receives
+one (or several) 5-tuple flows.  ``make_flows`` builds deterministic,
+distinct flows so Flow Director steering is reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .packet import FiveTuple
+
+
+def make_flow(index: int, app_class: int = 0) -> FiveTuple:
+    """A deterministic distinct flow for application instance ``index``."""
+    if index < 0:
+        raise ValueError(f"flow index must be non-negative, got {index}")
+    return FiveTuple(
+        src_ip=0x0A00_0001 + index,
+        dst_ip=0x0A00_1001 + index,
+        src_port=10_000 + index,
+        dst_port=20_000 + index,
+    )
+
+
+def make_flows(count: int) -> List[FiveTuple]:
+    """``count`` deterministic distinct flows."""
+    return [make_flow(i) for i in range(count)]

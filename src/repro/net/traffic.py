@@ -1,0 +1,192 @@
+"""Steady and bursty traffic generation (§VI methodology).
+
+The paper drives the simulated server with a hardware load-generator model
+rather than a second full system.  We do the same: a generator emits packet
+arrival events directly into the NIC.
+
+Bursty traffic is parameterized exactly as §VI defines it:
+
+* *burst period* — time between the starts of two consecutive bursts
+  (fixed at 10 ms in the paper);
+* *burst rate*  — line rate during a burst (10/25/100 Gbps);
+* *burst length* — chosen so each burst delivers exactly ``ring_size``
+  packets, preventing intra-burst drops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+from ..sim import Simulator, units
+from .packet import MTU_FRAME_BYTES, Packet, FiveTuple
+
+#: The classic IMIX packet-size mix: (frame bytes, weight).
+IMIX_DISTRIBUTION: Tuple[Tuple[int, int], ...] = ((64, 7), (594, 4), (1518, 1))
+
+
+@dataclass(frozen=True)
+class SteadyProfile:
+    """Constant-rate traffic at ``rate_gbps`` for ``duration`` ticks."""
+
+    rate_gbps: float
+    duration: int
+    packet_bytes: int = MTU_FRAME_BYTES
+    start: int = 0
+
+    def inter_arrival(self) -> int:
+        """Ticks between consecutive packet arrivals (wire-rate spacing)."""
+        wire = self.packet_bytes + 24
+        return units.transfer_time(wire, self.rate_gbps)
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """Periodic bursts per §VI: period, rate, and packets-per-burst."""
+
+    burst_rate_gbps: float
+    packets_per_burst: int
+    burst_period: int = units.milliseconds(10)
+    num_bursts: int = 1
+    packet_bytes: int = MTU_FRAME_BYTES
+    start: int = 0
+
+    def inter_arrival(self) -> int:
+        wire = self.packet_bytes + 24
+        return units.transfer_time(wire, self.burst_rate_gbps)
+
+    @property
+    def burst_length(self) -> int:
+        """Duration of one burst in ticks (first to last packet)."""
+        return self.inter_arrival() * max(0, self.packets_per_burst - 1)
+
+
+class TrafficGenerator:
+    """Schedules packet arrivals on the simulator and hands them to a sink.
+
+    The sink is usually ``NIC.receive``.  One generator drives one flow;
+    experiments create one generator per application instance.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: FiveTuple,
+        sink: Callable[[Packet], None],
+        app_class: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.flow = flow
+        self.sink = sink
+        self.app_class = app_class
+        self.packets_emitted = 0
+        #: Total arrivals scheduled on the simulator (emitted or pending).
+        self.packets_scheduled = 0
+
+    def _emit(self, size_bytes: int) -> None:
+        packet = Packet(
+            size_bytes=size_bytes,
+            flow=self.flow,
+            app_class=self.app_class,
+            arrival_time=self.sim.now,
+        )
+        self.packets_emitted += 1
+        self.sink(packet)
+
+    def schedule_steady(self, profile: SteadyProfile) -> int:
+        """Schedule a steady stream; returns the number of packets queued."""
+        gap = profile.inter_arrival()
+        if gap <= 0:
+            raise ValueError("steady profile rate too high for packet size")
+        count = 0
+        t = profile.start
+        end = profile.start + profile.duration
+        while t < end:
+            self.sim.schedule_at(
+                t, lambda b=profile.packet_bytes: self._emit(b), "steady-arrival"
+            )
+            t += gap
+            count += 1
+        self.packets_scheduled += count
+        return count
+
+    def schedule_poisson(
+        self,
+        rate_gbps: float,
+        duration: int,
+        packet_bytes: int = MTU_FRAME_BYTES,
+        start: int = 0,
+        seed: int = 0,
+    ) -> int:
+        """Poisson arrivals at an average of ``rate_gbps``.
+
+        Exponentially distributed inter-arrival times (seeded, so runs
+        replay exactly) model uncoordinated senders — the natural
+        in-between of the paper's perfectly steady and perfectly bursty
+        profiles.  Returns the number of packets scheduled.
+        """
+        wire = packet_bytes + 24
+        mean_gap = units.transfer_time(wire, rate_gbps)
+        if mean_gap <= 0:
+            raise ValueError("rate too high for packet size")
+        rng = random.Random(seed)
+        count = 0
+        t = float(start)
+        end = start + duration
+        while True:
+            t += rng.expovariate(1.0 / mean_gap)
+            if t >= end:
+                break
+            self.sim.schedule_at(
+                int(t), lambda b=packet_bytes: self._emit(b), "poisson-arrival"
+            )
+            count += 1
+        self.packets_scheduled += count
+        return count
+
+    def schedule_imix(
+        self,
+        rate_gbps: float,
+        duration: int,
+        start: int = 0,
+        seed: int = 0,
+        distribution: Sequence[Tuple[int, int]] = IMIX_DISTRIBUTION,
+    ) -> int:
+        """A steady stream with IMIX packet sizes (64/594/1518, 7:4:1).
+
+        Each arrival's size is drawn from ``distribution`` (seeded); the
+        inter-arrival gap after each packet matches its own wire time at
+        ``rate_gbps``, so the average offered load equals the target.
+        """
+        if not distribution:
+            raise ValueError("empty size distribution")
+        sizes = [s for s, _ in distribution]
+        weights = [w for _, w in distribution]
+        rng = random.Random(seed)
+        count = 0
+        t = start
+        end = start + duration
+        while t < end:
+            size = rng.choices(sizes, weights=weights)[0]
+            self.sim.schedule_at(t, lambda b=size: self._emit(b), "imix-arrival")
+            t += units.transfer_time(size + 24, rate_gbps)
+            count += 1
+        self.packets_scheduled += count
+        return count
+
+    def schedule_bursts(self, profile: BurstProfile) -> int:
+        """Schedule periodic bursts; returns the number of packets queued."""
+        gap = profile.inter_arrival()
+        count = 0
+        for burst in range(profile.num_bursts):
+            burst_start = profile.start + burst * profile.burst_period
+            for i in range(profile.packets_per_burst):
+                self.sim.schedule_at(
+                    burst_start + i * gap,
+                    lambda b=profile.packet_bytes: self._emit(b),
+                    "burst-arrival",
+                )
+                count += 1
+        self.packets_scheduled += count
+        return count

@@ -1,0 +1,60 @@
+"""PCIe root complex: the on-chip entry point for DMA traffic.
+
+The root complex receives memory-write/read TLPs from the NIC's DMA engine
+and turns them into memory-hierarchy transactions.  In the baseline it
+simply applies the static DDIO policy (write-allocate/update in the LLC's
+DDIO ways).  The IDIO controller (§V-B) is *tightly coupled with the PCIe
+root complex*; it plugs in here as a steering hook that sees every inbound
+TLP's decoded metadata and decides the placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..mem.hierarchy import MemoryHierarchy
+from ..sim import Simulator
+from .tlp import IdioTag, MemReadTLP, MemWriteTLP, decode_idio_bits
+
+
+#: A steering hook: (tag, address, now) -> placement ("llc" or "dram").
+#: Returning a placement may also trigger side effects (prefetch hints).
+SteeringHook = Callable[[IdioTag, int, int], str]
+
+
+class RootComplex:
+    """Routes DMA TLPs into the memory hierarchy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hierarchy: MemoryHierarchy,
+        steering_hook: Optional[SteeringHook] = None,
+    ) -> None:
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.steering_hook = steering_hook
+
+    def attach_controller(self, hook: SteeringHook) -> None:
+        """Install (or replace) the IDIO controller's data-plane hook."""
+        self.steering_hook = hook
+
+    def memory_write(self, tlp: MemWriteTLP) -> int:
+        """Process one inbound DMA write TLP; returns hierarchy latency.
+
+        The tag travels in the TLP header's reserved bits: we encode it on
+        the NIC side and decode it here, round-tripping through the real
+        Fig. 7 bit layout so the in-band transport is exercised on every
+        transaction.
+        """
+        now = self.sim.now
+        tag = decode_idio_bits(tlp.header_word())
+        if self.steering_hook is not None:
+            placement = self.steering_hook(tag, tlp.address, now)
+        else:
+            placement = "llc"  # baseline DDIO: static LLC placement
+        return self.hierarchy.pcie_write(tlp.address, now, placement=placement)
+
+    def memory_read(self, tlp: MemReadTLP) -> int:
+        """Process one outbound DMA read TLP (TX); returns hierarchy latency."""
+        return self.hierarchy.pcie_read(tlp.address, self.sim.now)

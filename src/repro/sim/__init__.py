@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel used by every hardware model."""
+
+from .event import Event, EventQueue
+from .kernel import PeriodicTask, SimulationError, Simulator
+from .process import Process, spawn
+from . import units
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "PeriodicTask",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "spawn",
+    "units",
+]

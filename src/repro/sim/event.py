@@ -1,0 +1,79 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` pairs a firing time with a zero-argument callback.  Events
+with equal timestamps fire in the order they were scheduled (FIFO), which is
+required for deterministic replays of the NIC/CPU interleavings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+    monotonically increasing number assigned at scheduling time, giving
+    deterministic FIFO ordering for simultaneous events.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: int,
+        sequence: int,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        label = self.name or self.callback.__name__
+        return f"<Event t={self.time} seq={self.sequence} {label}{state}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises :class:`IndexError` when no live events remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

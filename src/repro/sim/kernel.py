@@ -1,0 +1,152 @@
+"""Discrete-event simulation kernel.
+
+The :class:`Simulator` owns the virtual clock and the event queue.  All
+hardware models (NIC, caches, cores, controllers) schedule callbacks on a
+shared simulator instance.  Time is measured in integer picosecond ticks
+(see :mod:`repro.sim.units`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .event import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling bugs such as scheduling into the past."""
+
+
+class Simulator:
+    """The event loop driving a simulation.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule_at(units.microseconds(5), lambda: print("hello"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._sequence = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in ticks."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        self._sequence += 1
+        event = Event(time, self._sequence, callback, name)
+        self._queue.push(event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: int,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, name)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        Returns the simulator time when the run stops.  If ``until`` is
+        given, the clock is advanced to ``until`` even if the queue drains
+        earlier, so periodic samplers observe a consistent end time.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    if until is not None and self._now < until:
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.callback()
+                self._events_fired += 1
+                fired += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def run_for(self, duration: int) -> int:
+        """Run for ``duration`` ticks from the current time."""
+        return self.run(until=self._now + duration)
+
+
+class PeriodicTask:
+    """Re-schedules a callback every ``period`` ticks until stopped.
+
+    Used for the IDIO control plane (1 us / 8192 us loops), burst-counter
+    resets, and statistics samplers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        callback: Callable[[], Any],
+        name: str = "",
+        start_offset: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self.callback = callback
+        self.name = name
+        self._stopped = False
+        first = sim.now + (period if start_offset is None else start_offset)
+        self._event = sim.schedule_at(first, self._fire, name)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback()
+        if not self._stopped:
+            self._event = self.sim.schedule_after(self.period, self._fire, self.name)
+
+    def stop(self) -> None:
+        """Stop future firings (the current one, if mid-flight, completes)."""
+        self._stopped = True
+        self._event.cancel()

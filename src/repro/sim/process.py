@@ -1,0 +1,72 @@
+"""Coroutine-style timed processes on the event kernel.
+
+Agents with sequential behavior (poll, work, sleep, repeat) read more
+naturally as generators than as chains of callbacks.  A process is a
+generator that *yields the number of ticks to sleep*; the kernel resumes
+it after that delay:
+
+    def worker(sim):
+        while True:
+            do_something(sim.now)
+            yield units.microseconds(1)   # sleep 1 us
+
+    process = spawn(sim, worker(sim))
+    ...
+    process.stop()
+
+The callback-based models in this package predate this helper; it is
+provided (and used by examples/tests) as the ergonomic way to script
+custom agents against the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .kernel import SimulationError, Simulator
+
+#: The generator protocol: yield ticks-to-sleep, return to finish.
+ProcessBody = Generator[int, None, None]
+
+
+class Process:
+    """A running coroutine process; returned by :func:`spawn`."""
+
+    def __init__(self, sim: Simulator, body: ProcessBody, name: str = "process") -> None:
+        self.sim = sim
+        self.body = body
+        self.name = name
+        self.finished = False
+        self._stopped = False
+
+    def _step(self) -> None:
+        if self._stopped or self.finished:
+            return
+        try:
+            delay = next(self.body)
+        except StopIteration:
+            self.finished = True
+            return
+        if not isinstance(delay, int) or delay < 0:
+            raise SimulationError(
+                f"process {self.name!r} must yield a non-negative int delay, "
+                f"got {delay!r}"
+            )
+        self.sim.schedule_after(max(delay, 1), self._step, self.name)
+
+    def stop(self) -> None:
+        """Stop the process; it will not be resumed again."""
+        self._stopped = True
+        self.body.close()
+
+
+def spawn(
+    sim: Simulator,
+    body: ProcessBody,
+    name: str = "process",
+    start_delay: int = 0,
+) -> Process:
+    """Start a coroutine process; its first segment runs after ``start_delay``."""
+    process = Process(sim, body, name)
+    sim.schedule_after(start_delay, process._step, name)
+    return process

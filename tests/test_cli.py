@@ -1,0 +1,97 @@
+"""Tests for the idio-repro command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "--policy", "idio"],
+            ["compare", "--policies", "ddio,idio"],
+            ["figure", "fig9"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_figure_choices_cover_all_paper_figures(self):
+        for fig in ("fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert fig in FIGURE_COMMANDS
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "idio" in out and "touchdrop" in out and "fig9" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "--policy", "ddio", "--ring", "32", "--rate", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MLC WB" in out
+
+    def test_run_with_timelines(self, capsys):
+        rc = main(
+            ["run", "--policy", "ddio", "--ring", "32", "--rate", "50", "--timelines"]
+        )
+        assert rc == 0
+        assert "pcie_writes" in capsys.readouterr().out
+
+    def test_run_csv_stdout(self, capsys):
+        rc = main(["run", "--policy", "ddio", "--ring", "32", "--csv", "-"])
+        assert rc == 0
+        assert "time_us," in capsys.readouterr().out
+
+    def test_run_csv_file(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        rc = main(["run", "--policy", "ddio", "--ring", "32", "--csv", str(path)])
+        assert rc == 0
+        assert path.exists()
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--policies", "ddio,invalidate", "--ring", "32", "--rate", "50"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ddio" in out and "invalidate" in out
+
+    def test_compare_empty_policies(self, capsys):
+        assert main(["compare", "--policies", ","]) == 2
+
+    def test_figure_quick_args_cover_every_figure(self):
+        from repro.cli import FIGURE_QUICK_ARGS
+
+        assert set(FIGURE_QUICK_ARGS) == set(FIGURE_COMMANDS)
+
+    def test_figure_quick_run(self, capsys, tmp_path):
+        out = tmp_path / "fig13.txt"
+        rc = main(["figure", "fig13", "--quick", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "Fig. 13" in out.read_text()
+
+    def test_steady_traffic_run(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--policy", "ddio",
+                "--ring", "32",
+                "--traffic", "steady",
+                "--rate", "5",
+                "--duration-us", "100",
+            ]
+        )
+        assert rc == 0

@@ -1,0 +1,44 @@
+"""CLI validate command (with a stubbed scorecard — full runs take minutes)."""
+
+import pytest
+
+import repro.harness.validation as validation_mod
+from repro.cli import main
+from repro.harness.validation import Scorecard
+
+
+def make_card(all_pass: bool) -> Scorecard:
+    card = Scorecard()
+    card.add("fig9", "claim A", "x", "y", True)
+    card.add("fig10", "claim B", "x", "y", all_pass)
+    return card
+
+
+class TestValidateCommand:
+    def test_exit_zero_when_all_pass(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            validation_mod, "run_validation", lambda quick=False: make_card(True)
+        )
+        assert main(["validate", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 claims reproduced" in out
+
+    def test_exit_nonzero_on_failure(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            validation_mod, "run_validation", lambda quick=False: make_card(False)
+        )
+        assert main(["validate"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_quick_flag_forwarded(self, monkeypatch):
+        seen = {}
+
+        def fake(quick=False):
+            seen["quick"] = quick
+            return make_card(True)
+
+        monkeypatch.setattr(validation_mod, "run_validation", fake)
+        main(["validate", "--quick"])
+        assert seen["quick"] is True
+        main(["validate"])
+        assert seen["quick"] is False

@@ -1,0 +1,94 @@
+"""Unit + property tests for the Fig. 8 status FSM."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.fsm import STATE_MAX, STATE_MIN, STATUS_LLC, STATUS_MLC, StatusFSM
+
+
+class TestDefaults:
+    def test_boot_state_disables_prefetching(self):
+        fsm = StatusFSM()
+        assert fsm.state == STATE_MAX
+        assert fsm.status == STATUS_LLC
+        assert not fsm.steers_to_mlc
+
+
+class TestTransitions:
+    def test_burst_resets_to_zero(self):
+        fsm = StatusFSM()
+        fsm.on_burst()
+        assert fsm.state == STATE_MIN
+        assert fsm.steers_to_mlc
+
+    def test_high_pressure_increments(self):
+        fsm = StatusFSM()
+        fsm.on_burst()
+        fsm.on_pressure(True)
+        assert fsm.state == 0b01
+
+    def test_three_high_samples_disable_prefetching(self):
+        fsm = StatusFSM()
+        fsm.on_burst()
+        for _ in range(3):
+            fsm.on_pressure(True)
+        assert fsm.state == STATE_MAX
+        assert not fsm.steers_to_mlc
+
+    def test_low_pressure_decrements(self):
+        fsm = StatusFSM()
+        fsm.on_burst()
+        fsm.on_pressure(True)
+        fsm.on_pressure(False)
+        assert fsm.state == STATE_MIN
+
+    def test_saturates_high(self):
+        fsm = StatusFSM()
+        for _ in range(10):
+            fsm.on_pressure(True)
+        assert fsm.state == STATE_MAX
+
+    def test_saturates_low(self):
+        fsm = StatusFSM()
+        fsm.on_burst()
+        for _ in range(10):
+            fsm.on_pressure(False)
+        assert fsm.state == STATE_MIN
+
+    def test_hysteresis_single_spike_does_not_disable(self):
+        fsm = StatusFSM()
+        fsm.on_burst()
+        fsm.on_pressure(True)   # one spike
+        fsm.on_pressure(False)  # recovered
+        assert fsm.steers_to_mlc
+
+    def test_intermediate_states_still_steer_to_mlc(self):
+        """Only the saturated 0b11 state disables steering."""
+        fsm = StatusFSM()
+        fsm.on_burst()
+        fsm.on_pressure(True)
+        assert fsm.steers_to_mlc  # 0b01
+        fsm.on_pressure(True)
+        assert fsm.steers_to_mlc  # 0b10
+        fsm.on_pressure(True)
+        assert not fsm.steers_to_mlc  # 0b11
+
+
+class TestProperties:
+    @given(st.lists(st.sampled_from(["burst", "high", "low"]), max_size=200))
+    def test_state_always_in_range(self, events):
+        fsm = StatusFSM()
+        for ev in events:
+            if ev == "burst":
+                fsm.on_burst()
+            else:
+                fsm.on_pressure(ev == "high")
+            assert STATE_MIN <= fsm.state <= STATE_MAX
+            assert fsm.status in (STATUS_LLC, STATUS_MLC)
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_burst_always_reenables(self, pressures):
+        fsm = StatusFSM()
+        for p in pressures:
+            fsm.on_pressure(p)
+        fsm.on_burst()
+        assert fsm.steers_to_mlc

@@ -1,0 +1,87 @@
+"""Integration tests for the experiment runner (small configurations)."""
+
+import pytest
+
+from repro.core.policies import ddio, idio
+from repro.harness.experiment import Experiment, ExperimentResult, run_experiment, run_policy_comparison
+from repro.harness.server import ServerConfig
+from repro.sim import units
+
+
+def small_experiment(**kwargs):
+    defaults = dict(
+        name="t",
+        server=ServerConfig(app="touchdrop", ring_size=64),
+        traffic="bursty",
+        burst_rate_gbps=100.0,
+    )
+    defaults.update(kwargs)
+    return Experiment(**defaults)
+
+
+class TestRunExperiment:
+    def test_packet_conservation(self):
+        result = run_experiment(small_experiment())
+        assert result.offered_packets == 128
+        assert result.rx_packets + result.rx_drops == result.offered_packets
+        assert result.completed == result.rx_packets
+
+    def test_dma_line_conservation(self):
+        """Every accepted packet's lines appear as PCIe writes (plus the
+        2-line descriptor writebacks)."""
+        result = run_experiment(small_experiment())
+        expected = result.rx_packets * (24 + 2)
+        assert result.window.pcie_writes == expected
+
+    def test_latencies_populated(self):
+        result = run_experiment(small_experiment())
+        assert len(result.latencies_ns) == result.completed
+        assert result.p50_ns is not None and result.p99_ns is not None
+        assert result.p50_ns <= result.p99_ns
+
+    def test_burst_processing_time_positive(self):
+        result = run_experiment(small_experiment())
+        assert result.burst_processing_time > 0
+
+    def test_timeline_has_bins(self):
+        result = run_experiment(small_experiment())
+        series = result.timeline("pcie_writes")
+        assert len(series) > 1
+        assert sum(v for _, v in series) > 0
+
+    def test_steady_traffic_mode(self):
+        result = run_experiment(
+            small_experiment(
+                traffic="steady",
+                steady_rate_gbps_per_nf=10.0,
+                steady_duration=units.microseconds(100),
+            )
+        )
+        assert result.rx_packets > 0
+
+    def test_unknown_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(small_experiment(traffic="random"))
+
+    def test_with_policy_swaps_policy(self):
+        exp = small_experiment().with_policy(idio())
+        assert exp.server.policy.name == "idio"
+        assert small_experiment().server.policy.name == "ddio"
+
+    def test_decisions_exposed_for_idio(self):
+        result = run_experiment(small_experiment().with_policy(idio()))
+        assert sum(result.decisions.values()) > 0
+
+    def test_normalized_to_baseline(self):
+        base = run_experiment(small_experiment())
+        ours = run_experiment(small_experiment().with_policy(idio()))
+        norm = ours.normalized_to(base)
+        assert "exe_time" in norm
+        assert norm["exe_time"] > 0
+
+
+class TestPolicyComparison:
+    def test_runs_each_policy(self):
+        results = run_policy_comparison(small_experiment(), [ddio(), idio()])
+        assert set(results) == {"ddio", "idio"}
+        assert all(isinstance(r, ExperimentResult) for r in results.values())

@@ -1,0 +1,119 @@
+"""Smoke tests for every figure/extension harness entry point.
+
+Each harness function runs here at tiny scale (small rings, short
+windows, few sweep points) — these guard the orchestration code paths so
+the full-scale benchmarks never fail on plumbing.  Shape assertions live
+in benchmarks/; here we only check structure.
+"""
+
+import pytest
+
+from repro.harness import extensions, figures
+from repro.harness.figures import FigureReport
+
+
+def check_report(report, expected_figure):
+    assert isinstance(report, FigureReport)
+    assert report.figure == expected_figure
+    assert report.rows, "no rows produced"
+    assert report.text, "no printable report"
+    assert report.results, "no results attached"
+
+
+class TestFigureHarness:
+    def test_fig4(self):
+        report = figures.fig4(
+            ring_sizes=(64,),
+            loads_gbps_per_nf={"high": 10.0},
+            duration_us=200.0,
+            include_1way=False,
+            max_duration_us=400.0,
+        )
+        check_report(report, "fig4")
+        assert {r["ring"] for r in report.rows} == {64}
+
+    def test_fig5(self):
+        report = figures.fig5(ring_size=64, num_bursts=2, burst_period_ms=0.5)
+        check_report(report, "fig5")
+
+    def test_fig9(self):
+        report = figures.fig9(
+            burst_rates=(100.0,), ring_size=64, policy_names=("ddio", "idio")
+        )
+        check_report(report, "fig9")
+        assert {r["policy"] for r in report.rows} == {"ddio", "idio"}
+
+    def test_fig10(self):
+        report = figures.fig10(
+            burst_rates=(100.0,),
+            ring_size=64,
+            include_static=False,
+            include_corun=False,
+        )
+        check_report(report, "fig10")
+        assert all("mlc_writebacks" in r for r in report.rows)
+
+    def test_fig11(self):
+        report = figures.fig11(ring_size=64, include_payload_drop=True)
+        check_report(report, "fig11")
+        assert {r["config"] for r in report.rows} == {
+            "ddio", "idio", "idio-payload-drop",
+        }
+
+    def test_fig12(self):
+        report = figures.fig12(
+            burst_rates=(25.0,), ring_size=64, include_corun=False
+        )
+        check_report(report, "fig12")
+        row = report.rows[0]
+        assert row["ddio_p99_us"] > 0 and row["idio_p99_us"] > 0
+
+    def test_fig13(self):
+        report = figures.fig13(ring_size=64, duration_us=300.0)
+        check_report(report, "fig13")
+
+    def test_fig14(self):
+        report = figures.fig14(thresholds_mtps=(50.0,), ring_size=64)
+        check_report(report, "fig14")
+        assert len(report.rows) == 1
+
+
+class TestExtensionHarness:
+    def test_ext_baselines(self):
+        report = extensions.ext_baselines(burst_rates=(50.0,), ring_size=64)
+        check_report(report, "ext-baselines")
+        assert {r["policy"] for r in report.rows} == {
+            "ddio", "iat", "idio", "idio-regulated",
+        }
+
+    def test_ext_recycling(self):
+        report = extensions.ext_recycling_modes(
+            ring_size=64, policy_names=("ddio",)
+        )
+        check_report(report, "ext-recycling")
+        assert {r["mode"] for r in report.rows} == {
+            "run_to_completion", "copy", "reallocate",
+        }
+
+    def test_ext_burst_threshold(self):
+        report = extensions.ext_burst_threshold(
+            thresholds_gbps=(10.0,), ring_size=64
+        )
+        check_report(report, "ext-burstthr")
+
+    def test_ext_ring_sweep(self):
+        report = extensions.ext_ring_sweep(ring_sizes=(64,))
+        check_report(report, "ext-ring")
+
+    def test_ext_inclusive(self):
+        report = extensions.ext_inclusive_counterfactual(ring_size=64)
+        check_report(report, "ext-inclusive")
+        assert {r["hierarchy"] for r in report.rows} == {
+            "inclusive", "non-inclusive",
+        }
+
+    def test_ext_saturation(self):
+        report = extensions.ext_saturation(
+            rates_gbps=(10.0,), ring_size=64, duration_us=300.0
+        )
+        check_report(report, "ext-saturation")

@@ -1,0 +1,56 @@
+"""Unit tests for the ASCII report renderer."""
+
+import pytest
+
+from repro.harness.report import format_table, sparkline, timeline_block
+
+
+class TestFormatTable:
+    def test_alignment_and_borders(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a " in lines[1]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_included(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_none_rendered_as_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "| -" in out
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_large_float_formatting(self):
+        out = format_table(["x"], [[12345.6]])
+        assert "12,346" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == "(empty)"
+
+    def test_peak_is_full_block(self):
+        line = sparkline([(0, 0.0), (1, 10.0), (2, 5.0)])
+        assert "█" in line
+
+    def test_zero_series(self):
+        line = sparkline([(0, 0.0), (1, 0.0)])
+        assert set(line) <= {" "}
+
+    def test_downsampling_keeps_width(self):
+        series = [(i, float(i % 7)) for i in range(1000)]
+        assert len(sparkline(series, width=60)) <= 61
+
+    def test_timeline_block_reports_peak(self):
+        block = timeline_block("test", [(0, 1.0), (1, 42.0)])
+        assert "42.00" in block and "test" in block

@@ -1,0 +1,138 @@
+"""Tests for the simulated-server builder."""
+
+import pytest
+
+from repro.core.policies import ddio, idio, invalidate_only, static_idio
+from repro.harness.server import ServerConfig, SimulatedServer
+from repro.sim import units
+
+
+class TestTopology:
+    def test_default_matches_scaled_table1(self):
+        """Table I (scaled per §III Obs. 4): geometry sanity checks."""
+        server = SimulatedServer(ServerConfig())
+        h = server.hierarchy
+        assert h.config.num_cores == 2
+        assert h.mlc[0].config.size_bytes == 1024 * 1024
+        assert h.mlc[0].config.assoc == 8
+        assert h.llc.config.size_bytes == 3 * 1024 * 1024
+        assert h.llc.config.assoc == 12
+        assert h.llc.ddio_ways == 2
+        assert not h.llc.inclusive
+        assert h.l1[0] is not None and h.l1[0].config.size_bytes == 64 * 1024
+
+    def test_antagonist_adds_core_with_small_mlc(self):
+        server = SimulatedServer(ServerConfig(antagonist=True))
+        assert server.hierarchy.config.num_cores == 3
+        assert server.hierarchy.mlc[2].config.size_bytes == 256 * 1024
+
+    def test_queue_per_nf_core(self):
+        server = SimulatedServer(ServerConfig(num_nf_cores=2))
+        assert set(server.nic.queues) == {0, 1}
+        assert server.nic.queue_for_core(1).core == 1
+
+    def test_memory_regions_disjoint(self):
+        server = SimulatedServer(ServerConfig())
+        regions = []
+        for queue in server.nic.queues.values():
+            ring = queue.ring
+            d0 = ring.descriptors[0]
+            dn = ring.descriptors[-1]
+            regions.append((d0.desc_addr, dn.desc_addr + 128))
+            regions.append((d0.buffer_addr, dn.buffer_addr + 2048))
+        regions.sort()
+        for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
+            assert e1 <= s2
+
+    def test_buffers_marked_invalidatable(self):
+        server = SimulatedServer(ServerConfig())
+        for queue in server.nic.queues.values():
+            assert server.page_table.is_invalidatable(queue.ring.descriptors[0].buffer_addr)
+
+    def test_cat_mask_applied(self):
+        server = SimulatedServer(ServerConfig(nf_cat_ways=1))
+        mask = server.hierarchy.llc.core_way_mask(0)
+        assert mask == [2]  # first non-DDIO way only
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedServer(ServerConfig(app="webserver"))
+
+    def test_double_start_rejected(self):
+        server = SimulatedServer(ServerConfig())
+        server.start()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+
+class TestPolicyWiring:
+    def test_ddio_has_no_controller_or_classifier(self):
+        server = SimulatedServer(ServerConfig(policy=ddio()))
+        assert server.controller is None
+        assert server.nic.classifier is None
+
+    def test_invalidate_only_software_only(self):
+        server = SimulatedServer(ServerConfig(policy=invalidate_only()))
+        assert server.controller is None
+        assert server.drivers[0].self_invalidate
+
+    def test_idio_wires_controller_and_classifier(self):
+        server = SimulatedServer(ServerConfig(policy=idio()))
+        assert server.controller is not None
+        assert server.nic.classifier is not None
+        assert server.root_complex.steering_hook is not None
+        assert server.controller.direct_dram_enabled
+
+    def test_static_pins_status(self):
+        server = SimulatedServer(ServerConfig(policy=static_idio()))
+        assert server.controller.static_mlc
+        assert server.controller.status_of(0) == "MLC"
+
+
+class TestTrafficInjection:
+    def test_bursty_defaults_to_ring_size(self):
+        server = SimulatedServer(ServerConfig(ring_size=64))
+        server.start()
+        count = server.inject_bursty(100.0)
+        assert count == 128  # ring size per NF core x 2 cores
+
+    def test_steady_count_scales_with_duration(self):
+        server = SimulatedServer(ServerConfig(ring_size=64))
+        server.start()
+        count = server.inject_steady(10.0, units.microseconds(123))
+        assert count == 2 * 100  # 123 us / 1.2304 us per packet per core
+
+    def test_run_until_drained_completes(self):
+        server = SimulatedServer(ServerConfig(ring_size=32))
+        server.start()
+        server.inject_bursty(100.0, packets_per_burst=8)
+        server.run_until_drained(units.milliseconds(2))
+        assert server.all_packets_drained()
+        assert len(server.completed_packets()) == 16
+
+    def test_poisson_injection(self):
+        server = SimulatedServer(ServerConfig(ring_size=64))
+        server.start()
+        count = server.inject_poisson(10.0, units.microseconds(200), seed=4)
+        server.run_until_drained(units.milliseconds(2))
+        assert count > 0
+        assert len(server.completed_packets()) == count
+
+    def test_imix_injection(self):
+        server = SimulatedServer(ServerConfig(ring_size=64))
+        server.start()
+        count = server.inject_imix(2.0, units.microseconds(300), seed=4)
+        server.run_until_drained(units.milliseconds(2))
+        sizes = {p.size_bytes for p in server.completed_packets()}
+        assert count > 0
+        assert sizes <= {64, 594, 1518}
+
+    def test_banked_dram_selectable(self):
+        from repro.mem.dram import BankedDRAM
+
+        server = SimulatedServer(ServerConfig(ring_size=32, dram_model="banked"))
+        assert isinstance(server.hierarchy.dram, BankedDRAM)
+        server.start()
+        server.inject_bursty(100.0, packets_per_burst=8)
+        server.run_until_drained(units.milliseconds(2))
+        assert len(server.completed_packets()) == 16

@@ -1,0 +1,75 @@
+"""Unit tests for the trace-export helpers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.harness.traces import (
+    DEFAULT_STREAMS,
+    binned_rows,
+    export_csv,
+    to_csv_string,
+    write_csv,
+)
+from repro.mem.stats import StatsBundle
+from repro.sim import units
+
+
+def make_stats():
+    s = StatsBundle()
+    for i in range(10):
+        s.bump("mlc_writebacks", units.microseconds(1) * i)
+    s.bump("llc_writebacks", units.microseconds(15))
+    return s
+
+
+class TestBinnedRows:
+    def test_shared_time_axis(self):
+        rows = binned_rows(
+            make_stats(),
+            ["mlc_writebacks", "llc_writebacks"],
+            0,
+            units.microseconds(20),
+        )
+        assert len(rows) == 2
+        assert rows[0][0] == 0.0
+        assert rows[1][0] == 10.0
+
+    def test_rates_in_mtps(self):
+        rows = binned_rows(
+            make_stats(), ["mlc_writebacks"], 0, units.microseconds(20)
+        )
+        # 10 events in the first 10 us bin -> 1 MTPS.
+        assert rows[0][1] == pytest.approx(1.0)
+        assert rows[1][1] == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            binned_rows(make_stats(), ["x"], 10, 10)
+
+
+class TestCsv:
+    def test_header_names_streams(self):
+        buf = io.StringIO()
+        write_csv(make_stats(), buf, 0, units.microseconds(20), ["mlc_writebacks"])
+        header = buf.getvalue().splitlines()[0]
+        assert header == "time_us,mlc_writebacks_mtps"
+
+    def test_default_streams(self):
+        text = to_csv_string(make_stats(), 0, units.microseconds(10))
+        header = text.splitlines()[0]
+        for stream in DEFAULT_STREAMS:
+            assert f"{stream}_mtps" in header
+
+    def test_roundtrip_parse(self):
+        text = to_csv_string(make_stats(), 0, units.microseconds(20), ["mlc_writebacks"])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert float(rows[0]["mlc_writebacks_mtps"]) == pytest.approx(1.0)
+
+    def test_export_to_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        n = export_csv(make_stats(), str(path), 0, units.microseconds(30))
+        assert n == 3
+        assert path.read_text().count("\n") == 4  # header + 3 rows

@@ -1,0 +1,36 @@
+"""Unit tests for the scorecard machinery (full runs live in the CLI)."""
+
+from repro.harness.validation import VALIDATORS, Check, Scorecard
+
+
+class TestScorecard:
+    def test_counts(self):
+        card = Scorecard()
+        card.add("fig9", "a", "x", "y", True)
+        card.add("fig9", "b", "x", "y", False)
+        assert card.passed == 1
+        assert card.failed == 1
+        assert not card.all_passed
+
+    def test_all_passed(self):
+        card = Scorecard()
+        card.add("fig9", "a", "x", "y", True)
+        assert card.all_passed
+
+    def test_render_contains_verdicts(self):
+        card = Scorecard()
+        card.add("fig10", "burst time improves", "0.8x", "0.85x", True)
+        card.add("fig12", "p99 improves", "30%", "-2%", False)
+        text = card.render()
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 claims reproduced" in text
+
+    def test_check_fields(self):
+        check = Check("fig9", "claim", "paper", "measured", True)
+        assert check.figure == "fig9" and check.passed
+
+    def test_validators_registered_for_every_eval_figure(self):
+        names = {v.__name__ for v in VALIDATORS}
+        for fig in ("fig9", "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert f"validate_{fig}" in names
+        assert "validate_extensions" in names

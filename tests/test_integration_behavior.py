@@ -1,0 +1,180 @@
+"""Behavioral regression tests: the paper's qualitative claims.
+
+Each test pins one claim from the evaluation section at a reduced scale so
+the suite stays fast.  The full-scale reproductions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core.policies import all_policies, ddio, idio, invalidate_only, prefetch_only
+from repro.harness.experiment import Experiment, run_experiment
+from repro.harness.server import ServerConfig
+from repro.sim import units
+
+
+def bursty(policy, rate=50.0, ring=256, app="touchdrop", packet_bytes=1514, **server_kwargs):
+    exp = Experiment(
+        name="behavior",
+        server=ServerConfig(
+            policy=policy, app=app, ring_size=ring, packet_bytes=packet_bytes, **server_kwargs
+        ),
+        traffic="bursty",
+        burst_rate_gbps=rate,
+    )
+    return run_experiment(exp)
+
+
+#: Scaled-down MLC so a 256-entry ring (6144 lines) overflows it, keeping
+#: the paper's ring-larger-than-MLC ratio at test scale (§III Obs. 2).
+SMALL_MLC = 128 * 1024
+
+
+class TestSelfInvalidation:
+    """§IV-A / Fig. 9c: self-invalidation removes dead-buffer writebacks."""
+
+    def test_eliminates_mlc_writebacks(self):
+        base = bursty(ddio(), nf_mlc_bytes=SMALL_MLC)
+        inv = bursty(invalidate_only(), nf_mlc_bytes=SMALL_MLC)
+        assert base.window.mlc_writebacks > 0
+        assert inv.window.mlc_writebacks < base.window.mlc_writebacks * 0.1
+
+    def test_no_dram_writes_for_dead_data(self):
+        """With the LLC under pressure (scaled to ring size, like the
+        paper's 3 MB LLC vs 3 MB aggregate ring), invalidation removes the
+        dead-line writeback traffic and DRAM writes do not grow."""
+        kwargs = dict(
+            rate=25.0, nf_mlc_bytes=SMALL_MLC, llc_bytes=768 * 1024
+        )
+        inv = bursty(invalidate_only(), **kwargs)
+        base = bursty(ddio(), **kwargs)
+        assert base.window.mlc_writebacks > 0
+        assert inv.window.dram_writes <= base.window.dram_writes * 1.05
+
+
+class TestPrefetching:
+    """§IV-B / Fig. 9e: MLC prefetching shortens burst processing."""
+
+    def test_prefetch_reduces_burst_time_at_high_rate(self):
+        base = bursty(ddio(), rate=100.0, ring=512)
+        pf = bursty(prefetch_only(), rate=100.0, ring=512)
+        assert pf.burst_processing_time < base.burst_processing_time
+
+    def test_prefetch_alone_does_not_cut_mlc_writebacks(self):
+        base = bursty(ddio(), rate=100.0, ring=512)
+        pf = bursty(prefetch_only(), rate=100.0, ring=512)
+        assert pf.window.mlc_writebacks >= base.window.mlc_writebacks * 0.8
+
+
+class TestFullIDIO:
+    """Fig. 9/10: IDIO cuts writebacks and improves burst time."""
+
+    def test_idio_beats_ddio_on_llc_writebacks(self):
+        base = bursty(ddio(), rate=100.0, ring=512)
+        ours = bursty(idio(), rate=100.0, ring=512)
+        assert ours.window.llc_writebacks < base.window.llc_writebacks
+
+    def test_idio_nearly_eliminates_dram_writes_at_medium_rate(self):
+        base = bursty(ddio(), rate=25.0, ring=512)
+        ours = bursty(idio(), rate=25.0, ring=512)
+        assert base.window.dram_writes > 0
+        assert ours.window.dram_writes < base.window.dram_writes * 0.2
+
+    def test_idio_improves_burst_time_at_medium_rate(self):
+        base = bursty(ddio(), rate=25.0, ring=512)
+        ours = bursty(idio(), rate=25.0, ring=512)
+        assert ours.burst_processing_time < base.burst_processing_time
+
+    def test_idio_improves_p99_latency(self):
+        base = bursty(ddio(), rate=25.0, ring=512)
+        ours = bursty(idio(), rate=25.0, ring=512)
+        assert ours.p99_ns < base.p99_ns
+
+    def test_all_policies_complete_all_packets(self):
+        for name, policy in all_policies().items():
+            result = bursty(policy, rate=50.0, ring=128)
+            assert result.completed == result.rx_packets, name
+
+
+class TestDirectDram:
+    """§IV-C / Fig. 11: class-1 payloads bypass the cache hierarchy."""
+
+    def test_payload_written_directly_to_dram(self):
+        result = bursty(idio(), app="l2fwd-payload-drop", packet_bytes=1024, ring=128)
+        direct = result.server.stats.counters.get("direct_dram_writes")
+        # 15 payload lines per 1024 B packet, every packet.
+        assert direct == result.rx_packets * 15
+
+    def test_headers_still_cached(self):
+        result = bursty(idio(), app="l2fwd-payload-drop", packet_bytes=1024, ring=128)
+        assert result.decisions["header_prefetch"] > 0
+
+    def test_llc_writebacks_negligible(self):
+        result = bursty(idio(), app="l2fwd-payload-drop", packet_bytes=1024, ring=128)
+        assert result.window.llc_writebacks < result.rx_packets
+
+
+class TestL2FwdShallow:
+    """Fig. 11: shallow NF under DDIO shows no MLC activity; IDIO admits
+    data into the idle MLC."""
+
+    def test_ddio_has_minimal_mlc_traffic(self):
+        base = bursty(ddio(), app="l2fwd", packet_bytes=1024, ring=256, rate=100.0)
+        # Only header/descriptor lines move through the MLC.
+        assert base.window.mlc_writebacks <= base.rx_packets * 3
+
+    def test_idio_cuts_llc_writebacks(self):
+        base = bursty(ddio(), app="l2fwd", packet_bytes=1024, ring=256, rate=100.0)
+        ours = bursty(idio(), app="l2fwd", packet_bytes=1024, ring=256, rate=100.0)
+        assert ours.window.llc_writebacks < base.window.llc_writebacks
+
+
+class TestIsolation:
+    """Fig. 10/12 co-run: IDIO reduces interference with the antagonist."""
+
+    def test_corun_burst_time_improves(self):
+        base = bursty(ddio(), rate=50.0, ring=256, antagonist=True)
+        ours = bursty(idio(), rate=50.0, ring=256, antagonist=True)
+        assert ours.burst_processing_time < base.burst_processing_time
+
+    def test_antagonist_latency_not_worse_under_idio(self):
+        base = bursty(ddio(), rate=50.0, ring=256, antagonist=True)
+        ours = bursty(idio(), rate=50.0, ring=256, antagonist=True)
+        assert ours.antagonist_access_ns <= base.antagonist_access_ns * 1.05
+
+
+class TestSteadyTraffic:
+    """Fig. 13: steady load shows consistent MLC WBs under DDIO only."""
+
+    def test_steady_mlc_writebacks_removed_by_idio(self):
+        def steady(policy):
+            exp = Experiment(
+                name="steady",
+                server=ServerConfig(
+                    policy=policy,
+                    app="touchdrop",
+                    ring_size=256,
+                    nf_mlc_bytes=SMALL_MLC,
+                ),
+                traffic="steady",
+                steady_rate_gbps_per_nf=10.0,
+                steady_duration=units.microseconds(600),
+            )
+            return run_experiment(exp)
+
+        base = steady(ddio())
+        ours = steady(idio())
+        assert base.window.mlc_writebacks > 0
+        assert ours.window.mlc_writebacks < base.window.mlc_writebacks * 0.1
+
+
+class TestInclusiveCounterfactual:
+    """DESIGN.md ablation: DMA bloating needs a non-inclusive hierarchy."""
+
+    def test_inclusive_hierarchy_shows_no_bloat(self):
+        non_incl = bursty(ddio(), rate=50.0, ring=256, nf_mlc_bytes=SMALL_MLC)
+        incl = bursty(
+            ddio(), rate=50.0, ring=256, nf_mlc_bytes=SMALL_MLC, llc_inclusive=True
+        )
+        # In the inclusive LLC, MLC victims don't allocate new LLC lines
+        # (the copy already exists), so MLC->LLC traffic is far lower.
+        assert incl.window.mlc_writebacks < non_incl.window.mlc_writebacks

@@ -1,0 +1,47 @@
+"""Unit tests for the DRAM model."""
+
+import pytest
+
+from repro.mem.dram import DRAM
+from repro.mem.stats import StatsBundle
+from repro.sim import units
+
+
+class TestDram:
+    def test_counters(self):
+        dram = DRAM(StatsBundle())
+        dram.read(0, 0)
+        dram.write(64, 10)
+        dram.write(128, 20)
+        assert dram.reads == 1
+        assert dram.writes == 2
+
+    def test_fixed_latency(self):
+        dram = DRAM(StatsBundle(), latency=units.nanoseconds(70))
+        assert dram.read(0, 0) == units.nanoseconds(70)
+
+    def test_no_throttle_by_default(self):
+        dram = DRAM(StatsBundle(), latency=100)
+        # Back-to-back accesses at the same tick see no queueing.
+        assert dram.read(0, 0) == 100
+        assert dram.read(64, 0) == 100
+
+    def test_throttle_adds_queueing_delay(self):
+        dram = DRAM(StatsBundle(), latency=0, peak_gbps=64 * 8 / 1000.0)
+        # Peak = one line per 1000 ns.
+        first = dram.read(0, 0)
+        second = dram.read(64, 0)
+        assert second > first
+
+    def test_bandwidth_accounting(self):
+        stats = StatsBundle()
+        dram = DRAM(stats)
+        # 1000 line writes over 1 us = 64 KB/us = 512 Gbps.
+        for i in range(1000):
+            dram.write(i * 64, i * units.nanoseconds(1))
+        bw = dram.bandwidth_gbps("dram_writes", 0, units.microseconds(1))
+        assert bw == pytest.approx(512.0, rel=0.01)
+
+    def test_bandwidth_empty_window(self):
+        dram = DRAM(StatsBundle())
+        assert dram.bandwidth_gbps("dram_reads", 0, units.microseconds(1)) == 0.0

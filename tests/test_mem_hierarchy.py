@@ -1,0 +1,347 @@
+"""Tests for the memory hierarchy: the Fig. 1 / Fig. 2 data paths.
+
+These tests pin down the exact state transitions the paper describes for
+PCIe writes/reads and demand misses in a non-inclusive hierarchy, plus the
+invalidate-without-writeback operation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.line import LINE_SIZE
+
+
+def make_hierarchy(num_cores=2, l1=False, llc_bytes=None, ddio_ways=2, inclusive=False,
+                   directory_capacity=None):
+    cfg = HierarchyConfig(
+        num_cores=num_cores,
+        l1_enabled=l1,
+        ddio_ways=ddio_ways,
+        llc_inclusive=inclusive,
+        directory_capacity=directory_capacity,
+    )
+    if llc_bytes is not None:
+        cfg.llc = CacheConfig("llc", llc_bytes, 4, latency=1000)
+    return MemoryHierarchy(cfg)
+
+
+ADDR = 0x100000  # line-aligned test address
+
+
+class TestPcieWriteIngress:
+    """Fig. 1 ingress: P1-P5 cases."""
+
+    def test_uncached_write_allocates_in_ddio_ways(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        line = h.llc.peek(ADDR)
+        assert line is not None and line.dirty and line.origin == "io"
+        _, way = h.llc.data._where[ADDR]
+        assert way < h.llc.ddio_ways  # P5-1: write-allocate in DDIO ways
+
+    def test_llc_resident_line_updated_in_place(self):
+        h = make_hierarchy()
+        # Put the line in a non-DDIO way via the CPU victim path.
+        h.llc.fill_cpu(__import__("repro.mem.line", fromlist=["CacheLine"]).CacheLine(ADDR), 0)
+        _, way_before = h.llc.data._where[ADDR]
+        h.pcie_write(ADDR, 0)
+        _, way_after = h.llc.data._where[ADDR]
+        assert way_before == way_after  # P3-1: in-place update
+        assert h.llc.peek(ADDR).dirty
+
+    def test_mlc_resident_line_invalidated(self):
+        h = make_hierarchy()
+        # Demand-read pulls the line into core 0's MLC.
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, False, 0)
+        assert ADDR in h.mlc[0]
+        h.pcie_write(ADDR, 10)
+        assert ADDR not in h.mlc[0]  # P1-1: MLC copy invalidated
+        assert h.stats.counters.get("mlc_invalidations") == 1
+        assert ADDR in h.llc  # reallocated in DDIO ways
+
+    def test_direct_dram_placement(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0, placement="dram")
+        assert ADDR not in h.llc
+        assert h.dram.writes == 1
+        assert h.stats.counters.get("direct_dram_writes") == 1
+
+    def test_direct_dram_drops_stale_llc_copy(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)  # in LLC
+        h.pcie_write(ADDR, 10, placement="dram")
+        assert ADDR not in h.llc
+
+    def test_direct_dram_invalidates_mlc_copy(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, False, 0)
+        h.pcie_write(ADDR, 10, placement="dram")
+        assert ADDR not in h.mlc[0]
+
+    def test_unknown_placement_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError):
+            h.pcie_write(ADDR, 0, placement="l1")
+
+    def test_ddio_overflow_evicts_dirty_io_to_dram(self):
+        # Small LLC: 4 ways x N sets, 2 DDIO ways. Overfill one set.
+        h = make_hierarchy(llc_bytes=4 * 4 * LINE_SIZE)
+        sets = h.llc.data.num_sets
+        target_set = 0
+        addrs = [(t * sets + target_set) * LINE_SIZE for t in range(3)]
+        for a in addrs:
+            h.pcie_write(a, 0)
+        # Two DDIO ways -> third write evicted the first (dirty -> DRAM).
+        assert h.dram.writes == 1
+        assert h.stats.counters.get("llc_writebacks") == 1
+
+
+class TestPcieReadEgress:
+    """Fig. 1 egress + Fig. 3 (right): TX pulls MLC copies back to LLC."""
+
+    def test_read_from_llc(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        h.pcie_read(ADDR, 10)
+        assert h.dram.reads == 0
+        assert h.stats.counters.get("pcie_reads") == 1
+
+    def test_read_uncached_goes_to_dram(self):
+        h = make_hierarchy()
+        h.pcie_read(ADDR, 0)
+        assert h.dram.reads == 1
+
+    def test_read_pulls_mlc_copy_back_to_llc(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, False, 0)   # line now (dirty) in MLC
+        assert ADDR in h.mlc[0] and ADDR not in h.llc
+        h.pcie_read(ADDR, 10)
+        assert ADDR not in h.mlc[0]
+        assert ADDR in h.llc  # invalidated from MLC, back in LLC
+        assert h.stats.counters.get("mlc_writebacks") == 1
+
+
+class TestDemandPath:
+    """Fig. 2: demand misses move data up; tags move to the directory."""
+
+    def test_llc_hit_moves_line_to_mlc_noninclusive(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        result = h.cpu_access(0, ADDR, False, 0)
+        assert result.level == "llc"
+        assert ADDR in h.mlc[0]
+        assert ADDR not in h.llc           # data left the LLC
+        assert ADDR in h.llc.directory     # tag moved to the directory
+        assert h.mlc[0].peek(ADDR).dirty   # dirtiness carried upward
+
+    def test_miss_everywhere_reads_dram(self):
+        h = make_hierarchy()
+        result = h.cpu_access(0, ADDR, False, 0)
+        assert result.level == "dram"
+        assert h.dram.reads == 1
+        assert ADDR in h.mlc[0]
+
+    def test_mlc_hit(self):
+        h = make_hierarchy()
+        h.cpu_access(0, ADDR, False, 0)
+        result = h.cpu_access(0, ADDR, False, 1)
+        assert result.level == "mlc"
+
+    def test_write_marks_dirty(self):
+        h = make_hierarchy()
+        h.cpu_access(0, ADDR, True, 0)
+        assert h.mlc[0].peek(ADDR).dirty
+
+    def test_latency_ordering(self):
+        h = make_hierarchy()
+        dram_lat = h.cpu_access(0, ADDR, False, 0).latency
+        mlc_lat = h.cpu_access(0, ADDR, False, 1).latency
+        assert dram_lat > mlc_lat
+
+    def test_mlc_victim_fills_llc_any_dirtiness(self):
+        """Non-inclusive victim cache: clean AND dirty MLC victims fill LLC."""
+        h = make_hierarchy(num_cores=1)
+        mlc_lines = h.mlc[0].capacity_lines
+        for i in range(mlc_lines + 10):
+            h.cpu_access(0, i * LINE_SIZE, False, i)
+        assert h.stats.counters.get("mlc_writebacks") == 10
+        # The victims were clean (read-only): counted as clean writebacks.
+        assert h.stats.counters.get("mlc_writebacks_clean") == 10
+
+    def test_mlc_writeback_listener_called(self):
+        h = make_hierarchy(num_cores=1)
+        calls = []
+        h.mlc_wb_listeners.append(lambda core, now: calls.append(core))
+        mlc_lines = h.mlc[0].capacity_lines
+        for i in range(mlc_lines + 1):
+            h.cpu_access(0, i * LINE_SIZE, False, i)
+        assert calls == [0]
+
+    def test_dma_bloating_mlc_victim_lands_in_non_ddio_way(self):
+        """Obs. 3: after an MLC writeback, I/O data occupies non-DDIO ways."""
+        h = make_hierarchy(num_cores=1, llc_bytes=4 * 64 * LINE_SIZE)
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, False, 0)
+        # Force the line out of the MLC by filling it with other lines
+        # mapping to the same MLC set.
+        mlc = h.mlc[0]
+        set_idx = mlc.data.set_index(ADDR)
+        base_tag = (ADDR // LINE_SIZE) // mlc.data.num_sets
+        for t in range(1, mlc.data.assoc + 1):
+            conflict = ((base_tag + t) * mlc.data.num_sets + set_idx) * LINE_SIZE
+            h.cpu_access(0, conflict, False, t)
+        assert ADDR not in mlc
+        assert ADDR in h.llc
+        _, way = h.llc.data._where[ADDR]
+        assert way >= h.llc.ddio_ways  # bloated into a non-DDIO way
+
+
+class TestInvalidate:
+    def test_invalidate_drops_without_writeback(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, True, 0)  # dirty in MLC
+        dram_writes_before = h.dram.writes
+        h.invalidate(0, ADDR, 10)
+        assert ADDR not in h.mlc[0]
+        assert ADDR not in h.llc
+        assert ADDR not in h.llc.directory
+        assert h.dram.writes == dram_writes_before  # NO writeback
+        assert h.stats.counters.get("self_invalidations") == 1
+
+    def test_invalidate_private_scope_keeps_llc_copy(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        h.invalidate(0, ADDR, 10, scope="private")
+        assert ADDR in h.llc  # only private copies are dropped
+
+    def test_invalidate_unknown_scope(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError):
+            h.invalidate(0, ADDR, 0, scope="everything")
+
+    def test_invalidate_missing_line_is_noop(self):
+        h = make_hierarchy()
+        h.invalidate(0, ADDR, 0)
+        assert h.stats.counters.get("self_invalidations") == 0
+
+
+class TestPrefetchFill:
+    def test_prefetch_moves_llc_line_to_mlc(self):
+        h = make_hierarchy()
+        h.pcie_write(ADDR, 0)
+        assert h.prefetch_fill(0, ADDR, 10)
+        assert ADDR in h.mlc[0]
+        assert ADDR not in h.llc
+        assert h.stats.counters.get("mlc_prefetch_fills") == 1
+
+    def test_prefetch_noop_when_already_in_mlc(self):
+        h = make_hierarchy()
+        h.cpu_access(0, ADDR, False, 0)
+        assert not h.prefetch_fill(0, ADDR, 10)
+
+    def test_prefetch_miss_reads_dram(self):
+        h = make_hierarchy()
+        assert h.prefetch_fill(0, ADDR, 0)
+        assert h.dram.reads == 1
+
+
+class TestL1:
+    def test_l1_hit_after_first_access(self):
+        h = make_hierarchy(l1=True)
+        h.cpu_access(0, ADDR, False, 0)
+        result = h.cpu_access(0, ADDR, False, 1)
+        assert result.level == "l1"
+
+    def test_pcie_write_invalidates_l1_copy(self):
+        h = make_hierarchy(l1=True)
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, False, 0)
+        assert ADDR in h.l1[0]
+        h.pcie_write(ADDR, 10)
+        assert ADDR not in h.l1[0]
+
+    def test_l1_write_propagates_dirty_to_mlc(self):
+        h = make_hierarchy(l1=True)
+        h.cpu_access(0, ADDR, False, 0)
+        h.cpu_access(0, ADDR, True, 1)  # L1 hit write
+        assert h.mlc[0].peek(ADDR).dirty
+
+
+class TestInclusiveCounterfactual:
+    def test_llc_keeps_copy_on_demand_hit(self):
+        h = make_hierarchy(inclusive=True)
+        h.pcie_write(ADDR, 0)
+        h.cpu_access(0, ADDR, False, 0)
+        assert ADDR in h.mlc[0]
+        assert ADDR in h.llc  # inclusive: copy stays
+
+    def test_llc_eviction_back_invalidates_mlc(self):
+        h = make_hierarchy(num_cores=1, llc_bytes=4 * 4 * LINE_SIZE, inclusive=True)
+        sets = h.llc.data.num_sets
+        target = 0
+        addrs = [(t * sets + target) * LINE_SIZE for t in range(6)]
+        for i, a in enumerate(addrs):
+            h.cpu_access(0, a, False, i)
+        # The set only holds 4 lines; earlier ones were evicted and must
+        # have been back-invalidated from the MLC.
+        resident_in_mlc = [a for a in addrs if a in h.mlc[0]]
+        resident_in_llc = [a for a in addrs if a in h.llc]
+        assert set(resident_in_mlc) <= set(resident_in_llc)
+
+    def test_clean_mlc_victim_needs_no_llc_fill(self):
+        h = make_hierarchy(num_cores=1, inclusive=True)
+        mlc_lines = h.mlc[0].capacity_lines
+        for i in range(mlc_lines + 5):
+            h.cpu_access(0, i * LINE_SIZE, False, i)
+        assert h.stats.counters.get("mlc_writebacks") == 0  # clean drops
+
+
+class TestDirectoryCapacity:
+    def test_directory_eviction_back_invalidates(self):
+        h = make_hierarchy(num_cores=1, directory_capacity=4)
+        addrs = [i * LINE_SIZE for i in range(6)]
+        for i, a in enumerate(addrs):
+            h.cpu_access(0, a, False, i)
+        assert len(h.llc.directory) <= 4
+        assert h.stats.counters.get("directory_back_invalidations") >= 2
+
+
+class TestConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(
+        st.sampled_from(["pcie_write", "cpu_read", "cpu_write", "pcie_read", "invalidate", "prefetch"]),
+        st.integers(min_value=0, max_value=63),
+    ), min_size=1, max_size=200))
+    def test_single_copy_location_invariant(self, ops):
+        """A line is never in both the LLC data array and an MLC
+        (non-inclusive), and directory state matches MLC residency."""
+        h = make_hierarchy(num_cores=2, llc_bytes=4 * 8 * LINE_SIZE)
+        for op, slot in ops:
+            addr = slot * LINE_SIZE
+            if op == "pcie_write":
+                h.pcie_write(addr, 0)
+            elif op == "cpu_read":
+                h.cpu_access(slot % 2, addr, False, 0)
+            elif op == "cpu_write":
+                h.cpu_access(slot % 2, addr, True, 0)
+            elif op == "pcie_read":
+                h.pcie_read(addr, 0)
+            elif op == "invalidate":
+                h.invalidate(slot % 2, addr, 0)
+            else:
+                h.prefetch_fill(slot % 2, addr, 0)
+        for slot in range(64):
+            addr = slot * LINE_SIZE
+            in_llc = addr in h.llc
+            in_mlc = any(addr in h.mlc[c] for c in range(2))
+            assert not (in_llc and in_mlc), f"line {addr:#x} duplicated"
+            # Directory lists exactly the cores whose MLC holds the line.
+            dir_owners = h.llc.directory.owners(addr)
+            mlc_owners = {c for c in range(2) if addr in h.mlc[c]}
+            assert dir_owners == mlc_owners

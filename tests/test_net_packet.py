@@ -1,0 +1,87 @@
+"""Unit tests for packets, flows, and DSCP classes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.flow import make_flow, make_flows
+from repro.net.packet import (
+    APP_CLASS_LONG_USE,
+    APP_CLASS_SHORT_USE,
+    MTU_FRAME_BYTES,
+    FiveTuple,
+    Packet,
+)
+
+
+class TestPacket:
+    def test_mtu_frame_geometry(self):
+        p = Packet(size_bytes=MTU_FRAME_BYTES)
+        assert p.num_lines == 24
+        assert p.header_lines == 1
+        assert p.payload_lines == 23
+
+    def test_1024_byte_packet(self):
+        p = Packet(size_bytes=1024)
+        assert p.num_lines == 16
+
+    def test_tiny_packet_is_all_header(self):
+        p = Packet(size_bytes=60)
+        assert p.num_lines == 1
+        assert p.header_lines == 1
+        assert p.payload_lines == 0
+
+    def test_wire_bytes_includes_overhead(self):
+        p = Packet(size_bytes=1514)
+        assert p.wire_bytes == 1538
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Packet(size_bytes=0)
+
+    def test_invalid_app_class(self):
+        with pytest.raises(ValueError):
+            Packet(app_class=2)
+
+    def test_valid_app_classes(self):
+        assert Packet(app_class=APP_CLASS_SHORT_USE).app_class == 0
+        assert Packet(app_class=APP_CLASS_LONG_USE).app_class == 1
+
+    def test_latency_none_until_completed(self):
+        p = Packet(arrival_time=100)
+        assert p.latency is None
+        p.completion_time = 350
+        assert p.latency == 250
+
+    def test_unique_packet_ids(self):
+        ids = {Packet().packet_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestFiveTuple:
+    def test_hash_in_table_range(self):
+        flow = FiveTuple(1, 2, 3, 4)
+        assert 0 <= flow.hash_value(13) < 8192
+
+    def test_hash_deterministic(self):
+        a = FiveTuple(10, 20, 30, 40)
+        b = FiveTuple(10, 20, 30, 40)
+        assert a.hash_value(13) == b.hash_value(13)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**16 - 1))
+    def test_hash_range_property(self, ip, port):
+        flow = FiveTuple(ip, ip ^ 0xFFFF, port, port ^ 0xFF)
+        assert 0 <= flow.hash_value(13) < 8192
+
+
+class TestFlowFactory:
+    def test_flows_distinct(self):
+        flows = make_flows(16)
+        assert len(set(flows)) == 16
+
+    def test_deterministic(self):
+        assert make_flow(3) == make_flow(3)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            make_flow(-1)

@@ -1,0 +1,157 @@
+"""Unit tests for the steady/bursty traffic generators."""
+
+import pytest
+
+from repro.net.flow import make_flow
+from repro.net.packet import Packet
+from repro.net.traffic import BurstProfile, SteadyProfile, TrafficGenerator
+from repro.sim import Simulator, units
+
+
+def collect_arrivals(schedule):
+    sim = Simulator()
+    arrivals = []
+    gen = TrafficGenerator(sim, make_flow(0), lambda p: arrivals.append(p))
+    count = schedule(gen)
+    sim.run()
+    return arrivals, count
+
+
+class TestSteadyProfile:
+    def test_inter_arrival_matches_rate(self):
+        profile = SteadyProfile(rate_gbps=10.0, duration=0, packet_bytes=1514)
+        # 1538 wire bytes at 10 Gbps = 1230.4 ns.
+        assert profile.inter_arrival() == pytest.approx(units.nanoseconds(1230.4), rel=1e-3)
+
+    def test_packet_count_and_rate(self):
+        profile = SteadyProfile(
+            rate_gbps=10.0, duration=units.microseconds(100), packet_bytes=1514
+        )
+        arrivals, count = collect_arrivals(lambda g: g.schedule_steady(profile))
+        assert count == len(arrivals)
+        # ~81 packets in 100 us at 10 Gbps.
+        assert 78 <= len(arrivals) <= 84
+
+    def test_arrival_times_monotone(self):
+        profile = SteadyProfile(rate_gbps=25.0, duration=units.microseconds(50))
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_steady(profile))
+        times = [p.arrival_time for p in arrivals]
+        assert times == sorted(times)
+
+    def test_start_offset(self):
+        profile = SteadyProfile(
+            rate_gbps=10.0, duration=units.microseconds(10), start=units.microseconds(5)
+        )
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_steady(profile))
+        assert arrivals[0].arrival_time == units.microseconds(5)
+
+
+class TestBurstProfile:
+    def test_burst_length_matches_paper_formula(self):
+        # §VI: ring 1024 at 100 Gbps -> ~0.115 ms burst length.
+        profile = BurstProfile(burst_rate_gbps=100.0, packets_per_burst=1024)
+        assert units.to_milliseconds(profile.burst_length) == pytest.approx(0.126, abs=0.015)
+
+    def test_burst_length_at_10gbps(self):
+        # §VI: ring 1024 at 10 Gbps -> ~1.155 ms (paper's approximation).
+        profile = BurstProfile(burst_rate_gbps=10.0, packets_per_burst=1024)
+        assert units.to_milliseconds(profile.burst_length) == pytest.approx(1.26, abs=0.11)
+
+    def test_packets_per_burst_delivered(self):
+        profile = BurstProfile(burst_rate_gbps=100.0, packets_per_burst=64, num_bursts=3)
+        arrivals, count = collect_arrivals(lambda g: g.schedule_bursts(profile))
+        assert count == 192
+        assert len(arrivals) == 192
+
+    def test_burst_period_spacing(self):
+        profile = BurstProfile(
+            burst_rate_gbps=100.0,
+            packets_per_burst=4,
+            num_bursts=2,
+            burst_period=units.milliseconds(1),
+        )
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_bursts(profile))
+        assert arrivals[4].arrival_time - arrivals[0].arrival_time == units.milliseconds(1)
+
+    def test_app_class_propagated(self):
+        sim = Simulator()
+        out = []
+        gen = TrafficGenerator(sim, make_flow(0), out.append, app_class=1)
+        gen.schedule_bursts(BurstProfile(burst_rate_gbps=100.0, packets_per_burst=2))
+        sim.run()
+        assert all(p.app_class == 1 for p in out)
+
+
+class TestPoissonProfile:
+    def test_average_rate_close_to_target(self):
+        sim = Simulator()
+        arrivals = []
+        gen = TrafficGenerator(sim, make_flow(0), arrivals.append)
+        gen.schedule_poisson(25.0, units.milliseconds(2), seed=3)
+        sim.run()
+        # 25 Gbps of 1538 B wire frames over 2 ms -> ~4065 packets.
+        assert len(arrivals) == pytest.approx(4065, rel=0.1)
+
+    def test_seeded_reproducibility(self):
+        def times(seed):
+            sim = Simulator()
+            out = []
+            gen = TrafficGenerator(sim, make_flow(0), out.append)
+            gen.schedule_poisson(10.0, units.microseconds(500), seed=seed)
+            sim.run()
+            return [p.arrival_time for p in out]
+
+        assert times(7) == times(7)
+        assert times(7) != times(8)
+
+    def test_interarrival_variability(self):
+        """Poisson gaps vary (unlike the steady profile's fixed gap)."""
+        sim = Simulator()
+        out = []
+        gen = TrafficGenerator(sim, make_flow(0), out.append)
+        gen.schedule_poisson(10.0, units.milliseconds(1), seed=1)
+        sim.run()
+        gaps = {
+            out[i + 1].arrival_time - out[i].arrival_time
+            for i in range(len(out) - 1)
+        }
+        assert len(gaps) > len(out) // 2
+
+    def test_invalid_rate(self):
+        sim = Simulator()
+        gen = TrafficGenerator(sim, make_flow(0), lambda p: None)
+        with pytest.raises(ValueError):
+            gen.schedule_poisson(1e12, units.microseconds(1))
+
+
+class TestImixProfile:
+    def test_sizes_from_distribution(self):
+        from repro.net.traffic import IMIX_DISTRIBUTION
+
+        sim = Simulator()
+        out = []
+        gen = TrafficGenerator(sim, make_flow(0), out.append)
+        gen.schedule_imix(10.0, units.milliseconds(1), seed=5)
+        sim.run()
+        allowed = {s for s, _ in IMIX_DISTRIBUTION}
+        assert {p.size_bytes for p in out} <= allowed
+        # The 7:4:1 mix makes 64 B the most common size.
+        sizes = [p.size_bytes for p in out]
+        assert sizes.count(64) > sizes.count(1518)
+
+    def test_offered_load_near_target(self):
+        sim = Simulator()
+        out = []
+        gen = TrafficGenerator(sim, make_flow(0), out.append)
+        duration = units.milliseconds(2)
+        gen.schedule_imix(10.0, duration, seed=5)
+        sim.run()
+        wire_bytes = sum(p.wire_bytes for p in out)
+        gbps = units.bytes_to_gbps(wire_bytes, duration)
+        assert gbps == pytest.approx(10.0, rel=0.1)
+
+    def test_empty_distribution_rejected(self):
+        sim = Simulator()
+        gen = TrafficGenerator(sim, make_flow(0), lambda p: None)
+        with pytest.raises(ValueError):
+            gen.schedule_imix(10.0, units.microseconds(1), distribution=())

@@ -1,0 +1,126 @@
+"""Unit + property tests for the RX descriptor ring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import Packet
+from repro.nic.descriptor import DESCRIPTOR_BYTES, DescriptorRing, RingFullError
+
+
+def make_ring(size=4):
+    return DescriptorRing(size, desc_base=0x1000, buffer_base=0x100000, buffer_stride=2048)
+
+
+class TestLayout:
+    def test_descriptor_addresses_strided(self):
+        ring = make_ring(4)
+        assert ring.descriptors[1].desc_addr - ring.descriptors[0].desc_addr == DESCRIPTOR_BYTES
+
+    def test_buffer_addresses_strided(self):
+        ring = make_ring(4)
+        assert ring.descriptors[1].buffer_addr - ring.descriptors[0].buffer_addr == 2048
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_ring(0)
+
+
+class TestClaimCompleteFree:
+    def test_claim_assigns_buffer(self):
+        ring = make_ring()
+        p = Packet()
+        desc = ring.claim(p)
+        assert p.buffer_addr == desc.buffer_addr
+        assert ring.occupancy() == 1
+
+    def test_claim_wraps_around(self):
+        ring = make_ring(2)
+        d0 = ring.claim(Packet())
+        d1 = ring.claim(Packet())
+        ring.complete(d0)
+        assert ring.pop_ready() is d0
+        ring.free(d0)
+        d2 = ring.claim(Packet())
+        assert d2.index == 0  # wrapped
+
+    def test_full_ring_raises(self):
+        ring = make_ring(2)
+        ring.claim(Packet())
+        ring.claim(Packet())
+        with pytest.raises(RingFullError):
+            ring.claim(Packet())
+
+    def test_packet_invisible_until_complete(self):
+        ring = make_ring()
+        ring.claim(Packet())
+        assert ring.peek_ready() is None
+        assert ring.pop_ready() is None
+
+    def test_complete_makes_visible(self):
+        ring = make_ring()
+        desc = ring.claim(Packet())
+        ring.complete(desc)
+        assert ring.peek_ready() is desc
+
+    def test_pop_advances_cpu_pointer(self):
+        ring = make_ring()
+        d0 = ring.claim(Packet())
+        d1 = ring.claim(Packet())
+        ring.complete(d0)
+        ring.complete(d1)
+        assert ring.pop_ready() is d0
+        assert ring.pop_ready() is d1
+        assert ring.pop_ready() is None
+
+    def test_out_of_order_completion_blocks_cpu(self):
+        """The CPU pointer consumes in ring order (like real rings)."""
+        ring = make_ring()
+        d0 = ring.claim(Packet())
+        d1 = ring.claim(Packet())
+        ring.complete(d1)  # d0 still in flight
+        assert ring.pop_ready() is None
+
+    def test_free_twice_rejected(self):
+        ring = make_ring()
+        desc = ring.claim(Packet())
+        ring.complete(desc)
+        ring.pop_ready()
+        ring.free(desc)
+        with pytest.raises(ValueError):
+            ring.free(desc)
+
+    def test_use_distance(self):
+        ring = make_ring(8)
+        for _ in range(3):
+            ring.complete(ring.claim(Packet()))
+        assert ring.use_distance() == 3
+        ring.free(ring.pop_ready())
+        assert ring.use_distance() == 2
+
+    def test_use_distance_empty(self):
+        assert make_ring().use_distance() == 0
+
+
+class TestWraparoundProperty:
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from(["rx", "consume"]), min_size=1, max_size=300))
+    def test_ring_invariants_under_random_traffic(self, ops):
+        ring = make_ring(5)
+        in_flight = []
+        for op in ops:
+            if op == "rx":
+                if ring.free_slots() > 0:
+                    desc = ring.claim(Packet())
+                    ring.complete(desc)
+                    in_flight.append(desc)
+                else:
+                    with pytest.raises(RingFullError):
+                        ring.claim(Packet())
+            else:
+                desc = ring.pop_ready()
+                if desc is not None:
+                    assert desc is in_flight.pop(0)  # strict FIFO
+                    ring.free(desc)
+            assert 0 <= ring.occupancy() <= ring.size
+            assert ring.occupancy() == len(in_flight)
+            assert ring.free_slots() == ring.size - len(in_flight)

@@ -1,0 +1,89 @@
+"""Overload and failure-injection behavior.
+
+The simulator must degrade the way real systems do: rings fill, packets
+drop, latency grows — and never lose accounting consistency.
+"""
+
+import pytest
+
+from repro.core.policies import ddio, idio
+from repro.harness.experiment import Experiment, run_experiment
+from repro.harness.server import ServerConfig
+from repro.sim import units
+
+
+def steady(rate, policy=None, ring=256, duration_us=500.0, **kwargs):
+    exp = Experiment(
+        name="overload",
+        server=ServerConfig(
+            policy=policy or ddio(), app="touchdrop", ring_size=ring, **kwargs
+        ),
+        traffic="steady",
+        steady_rate_gbps_per_nf=rate,
+        steady_duration=units.microseconds(duration_us),
+    )
+    return run_experiment(exp)
+
+
+class TestOverload:
+    def test_no_drops_below_capacity(self):
+        result = steady(8.0)
+        assert result.rx_drops == 0
+
+    def test_drops_above_capacity(self):
+        """The per-core cost model saturates near the paper's ~12 Gbps;
+        40 Gbps per core must overwhelm the ring."""
+        result = steady(40.0, duration_us=800.0)
+        assert result.rx_drops > 0
+
+    def test_accounting_consistent_under_drops(self):
+        result = steady(40.0, duration_us=800.0)
+        assert result.rx_packets + result.rx_drops == result.offered_packets
+        assert result.completed == result.rx_packets
+
+    def test_dropped_packets_produce_no_dma(self):
+        """A dropped packet must not touch the memory hierarchy."""
+        result = steady(40.0, duration_us=800.0)
+        expected_lines = result.rx_packets * (24 + 2)  # data + descriptor
+        assert result.window.pcie_writes == expected_lines
+
+    def test_latency_grows_with_load(self):
+        light = steady(4.0)
+        heavy = steady(11.0, duration_us=800.0)
+        assert heavy.p99_ns > light.p99_ns
+
+    def test_small_ring_drops_earlier(self):
+        big = steady(14.0, ring=1024, duration_us=600.0)
+        small = steady(14.0, ring=64, duration_us=600.0)
+        assert small.rx_drops >= big.rx_drops
+
+    def test_idio_drops_no_more_than_ddio(self):
+        base = steady(14.0, duration_us=800.0)
+        ours = steady(14.0, policy=idio(), duration_us=800.0)
+        assert ours.rx_drops <= base.rx_drops
+
+
+class TestBurstOverload:
+    def test_burst_larger_than_ring_drops(self):
+        """§VI sizes bursts to exactly the ring to avoid drops; a burst
+        of 2x the ring must drop the excess."""
+        exp = Experiment(
+            name="oversized-burst",
+            server=ServerConfig(app="touchdrop", ring_size=64),
+            traffic="bursty",
+            burst_rate_gbps=100.0,
+            packets_per_burst=128,
+        )
+        result = run_experiment(exp)
+        assert result.rx_drops > 0
+        assert result.rx_packets + result.rx_drops == 256
+
+    def test_ring_sized_burst_has_no_drops(self):
+        exp = Experiment(
+            name="ring-sized-burst",
+            server=ServerConfig(app="touchdrop", ring_size=64),
+            traffic="bursty",
+            burst_rate_gbps=100.0,
+        )
+        result = run_experiment(exp)
+        assert result.rx_drops == 0

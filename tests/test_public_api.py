@@ -1,0 +1,51 @@
+"""Public-API consistency: every exported name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.mem",
+    "repro.net",
+    "repro.pcie",
+    "repro.nic",
+    "repro.cpu",
+    "repro.core",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), f"{package} has no __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} listed in __all__ but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted(package):
+    """Keep the export lists tidy (reviewable diffs)."""
+    mod = importlib.import_module(package)
+    assert list(mod.__all__) == sorted(mod.__all__), package
+
+
+def test_top_level_quickstart_symbols():
+    """The README quickstart must keep working."""
+    import repro
+
+    for name in ("Experiment", "ServerConfig", "run_experiment", "units"):
+        assert hasattr(repro, name)
+    from repro.core import ddio, idio  # noqa: F401
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_cli_module_importable():
+    from repro.cli import main  # noqa: F401

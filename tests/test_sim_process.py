@@ -1,0 +1,98 @@
+"""Tests for coroutine-style processes."""
+
+import pytest
+
+from repro.sim import Process, SimulationError, Simulator, spawn, units
+
+
+class TestSpawn:
+    def test_segments_run_at_yielded_delays(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append(sim.now)
+            yield 100
+            log.append(sim.now)
+            yield 50
+            log.append(sim.now)
+
+        spawn(sim, body())
+        sim.run()
+        assert log == [0, 100, 150]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append(sim.now)
+            if False:
+                yield  # make it a generator
+
+        spawn(sim, body(), start_delay=25)
+        sim.run()
+        assert log == [25]
+
+    def test_finishes_cleanly(self):
+        sim = Simulator()
+
+        def body():
+            yield 10
+
+        process = spawn(sim, body())
+        sim.run()
+        assert process.finished
+
+    def test_stop_prevents_resume(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            while True:
+                log.append(sim.now)
+                yield 10
+
+        process = spawn(sim, body())
+        sim.schedule_at(35, process.stop)
+        sim.run(until=200)
+        assert log == [0, 10, 20, 30]
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def body():
+            yield -5
+
+        spawn(sim, body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_zero_delay_still_advances(self):
+        """Yielding 0 reschedules at the minimum tick, never the same
+        instant (prevents infinite same-time loops)."""
+        sim = Simulator()
+        log = []
+
+        def body():
+            for _ in range(3):
+                log.append(sim.now)
+                yield 0
+
+        spawn(sim, body())
+        sim.run(until=10)
+        assert log == [0, 1, 2]
+
+    def test_process_interleaves_with_events(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append(("proc", sim.now))
+            yield 100
+            log.append(("proc", sim.now))
+
+        spawn(sim, body())
+        sim.schedule_at(50, lambda: log.append(("event", sim.now)))
+        sim.run()
+        assert log == [("proc", 0), ("event", 50), ("proc", 100)]
