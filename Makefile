@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-benchmarks bench bench-check validate
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-benchmarks:
+	$(PYTHON) -m pytest benchmarks -q
+
+bench:
+	$(PYTHON) tools/bench.py
+
+# Fails if any workload's wall time regressed >25% vs the last
+# committed BENCH_*.json (see tools/bench.py --help).
+bench-check:
+	$(PYTHON) tools/bench.py --check
+
+validate:
+	$(PYTHON) -m repro.cli validate --quick

@@ -27,5 +27,5 @@ def test_fig5_burst_timeline(run_once):
     for burst in range(3):
         start = units.milliseconds(10 * burst)
         end = start + units.milliseconds(3)
-        count = result.server.stats.events.count_between("mlc_writebacks", start, end)
+        count = result.count_between("mlc_writebacks", start, end)
         assert count > 0, f"no MLC WBs in burst {burst}"

@@ -26,9 +26,11 @@ from .core import IDIOConfig, IDIOController, PolicyConfig, all_policies
 from .harness import (
     Experiment,
     ExperimentResult,
+    ExperimentSummary,
     ServerConfig,
     SimulatedServer,
     run_experiment,
+    run_experiments,
     run_policy_comparison,
 )
 from .mem import HierarchyConfig, MemoryHierarchy
@@ -39,6 +41,7 @@ __version__ = "0.1.0"
 __all__ = [
     "Experiment",
     "ExperimentResult",
+    "ExperimentSummary",
     "HierarchyConfig",
     "IDIOConfig",
     "IDIOController",
@@ -56,6 +59,7 @@ __all__ = [
     "nic",
     "pcie",
     "run_experiment",
+    "run_experiments",
     "run_policy_comparison",
     "sim",
     "units",

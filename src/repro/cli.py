@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .core import policies
 from .harness import extensions, figures
 from .harness.experiment import Experiment, run_experiment
+from .harness.runner import run_experiments
 from .harness.report import format_table, timeline_block
 from .harness.server import APP_FACTORIES, ServerConfig
 from .harness.traces import export_csv, to_csv_string
@@ -96,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="ddio,idio",
         help="comma-separated policy names (default: ddio,idio)",
     )
+    _add_jobs_arg(cmp_p)
 
     fig_p = sub.add_parser("figure", help="reproduce a paper figure / extension")
     fig_p.add_argument("name", choices=sorted(FIGURE_COMMANDS), help="figure id")
@@ -103,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument(
         "--quick", action="store_true", help="reduced-scale smoke run"
     )
+    _add_jobs_arg(fig_p)
 
     val_p = sub.add_parser(
         "validate", help="run the full reproduction scorecard (paper claims)"
@@ -110,8 +113,19 @@ def build_parser() -> argparse.ArgumentParser:
     val_p.add_argument(
         "--quick", action="store_true", help="reduced scale (~3x faster)"
     )
+    _add_jobs_arg(val_p)
 
     return parser
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment sweep (1 = serial)",
+    )
 
 
 def _add_experiment_args(p: argparse.ArgumentParser) -> None:
@@ -190,6 +204,14 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _eps_footer(summaries) -> str:
+    """One-line wall-clock diagnostic: total simulated events and rate."""
+    events = sum(s.events_fired for s in summaries)
+    wall = sum(s.wall_seconds for s in summaries)
+    eps = events / wall if wall > 0 else 0.0
+    return f"[{events} events in {wall:.2f}s sim wall time, {eps:,.0f} events/sec]"
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(_experiment_from_args(args, args.policy))
     print(
@@ -210,6 +232,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             rows = export_csv(stats, args.csv, start, end)
             print(f"wrote {rows} rows to {args.csv}")
+    print(_eps_footer([result.summary()]))
     return 0
 
 
@@ -218,9 +241,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if not names:
         print("no policies given", file=sys.stderr)
         return 2
-    results = {}
-    for name in names:
-        results[name] = run_experiment(_experiment_from_args(args, name))
+    summaries = run_experiments(
+        [_experiment_from_args(args, name) for name in names], jobs=args.jobs
+    )
+    results = dict(zip(names, summaries))
     print(
         format_table(
             ["policy", "completed", "drops", "MLC WB", "LLC WB", "DRAM wr",
@@ -229,13 +253,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.app} @ {args.rate:g} Gbps ({args.traffic}), ring {args.ring}",
         )
     )
+    print(_eps_footer(summaries))
     return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
     kwargs = FIGURE_QUICK_ARGS.get(args.name, {}) if args.quick else {}
+    kwargs = {**kwargs, "jobs": args.jobs}
     report = FIGURE_COMMANDS[args.name](**kwargs)
     print(report.text)
+    print(_eps_footer(report.results.values()))
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report.text + "\n")
@@ -246,7 +273,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     from .harness.validation import run_validation
 
-    card = run_validation(quick=args.quick)
+    card = run_validation(quick=args.quick, jobs=args.jobs)
     print(card.render())
     return 0 if card.all_passed else 1
 

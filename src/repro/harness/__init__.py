@@ -1,18 +1,21 @@
 """Experiment harness: server builder, runner, metrics, figure reproductions."""
 
-from . import extensions, figures, metrics, report, traces, validation
+from . import extensions, figures, metrics, report, runner, traces, validation
 from .experiment import (
     Experiment,
     ExperimentResult,
+    ExperimentSummary,
     run_experiment,
     run_policy_comparison,
 )
+from .runner import run_experiment_summary, run_experiments, run_named_experiments
 from .server import APP_FACTORIES, ServerConfig, SimulatedServer
 
 __all__ = [
     "APP_FACTORIES",
     "Experiment",
     "ExperimentResult",
+    "ExperimentSummary",
     "ServerConfig",
     "SimulatedServer",
     "extensions",
@@ -20,7 +23,11 @@ __all__ = [
     "metrics",
     "report",
     "run_experiment",
+    "run_experiment_summary",
+    "run_experiments",
+    "run_named_experiments",
     "run_policy_comparison",
+    "runner",
     "traces",
     "validation",
 ]

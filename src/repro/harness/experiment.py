@@ -10,12 +10,25 @@ time).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.policies import PolicyConfig, ddio
+from ..mem import stats as stats_mod
+from ..mem.line import LINE_SIZE
 from ..sim import units
 from . import metrics
 from .server import ServerConfig, SimulatedServer
+
+#: Event streams whose raw timestamps an :class:`ExperimentSummary` keeps,
+#: so summary timelines/window counts bin exactly like the live event log.
+SUMMARY_STREAMS: Tuple[str, ...] = (
+    "pcie_writes",
+    "mlc_writebacks",
+    "llc_writebacks",
+    "mlc_invalidations",
+    "dram_reads",
+    "dram_writes",
+)
 
 
 @dataclass
@@ -43,8 +56,158 @@ class Experiment:
 
 
 @dataclass
+class ExperimentSummary:
+    """The slim, picklable slice of a run the figure harness consumes.
+
+    An :class:`ExperimentResult` drags the whole :class:`SimulatedServer`
+    (caches, rings, per-packet objects) — cheap to hand around in-process,
+    but unserializable in practice and a memory leak across a sweep.  The
+    summary carries only derived data: window statistics, the raw
+    timestamp lists of the :data:`SUMMARY_STREAMS`, latencies, counters,
+    and a handful of scalars the figures and extensions read off the
+    server.  Everything here pickles, so it is also the unit of transfer
+    for the process-pool runner (``repro.harness.runner``).
+    """
+
+    experiment: Experiment
+    policy_name: str
+    window: metrics.WindowStats
+    offered_packets: int
+    rx_packets: int
+    rx_drops: int
+    completed: int
+    tx_packets: int
+    burst_processing_time: Optional[int]
+    latencies_ns: List[float]
+    antagonist_access_ns: Optional[float]
+    antagonist_accesses: int
+    decisions: Dict[str, int]
+    #: Full counter snapshot (``direct_dram_writes``, ``back_invalidations`` ...).
+    counters: Dict[str, int]
+    #: Raw timestamps per stream in :data:`SUMMARY_STREAMS`.
+    event_streams: Dict[str, List[int]]
+    latency_breakdown: Dict[str, float]
+    #: Per-core ``stats.mem_accesses`` (NF cores first, antagonist last).
+    core_mem_accesses: List[int]
+    #: Per-NF-driver mean completed-packet latency in microseconds.
+    per_core_mean_latency_us: List[float]
+    #: NIC classifier bursts (0 when no classifier is attached).
+    bursts_detected: int
+    #: CacheDirector slice steers (0 when not configured).
+    headers_steered: int
+    #: Wall-clock diagnostics of the producing simulation.
+    events_fired: int
+    wall_seconds: float
+    events_per_second: float
+
+    @property
+    def p50_ns(self) -> Optional[float]:
+        if not self.latencies_ns:
+            return None
+        return metrics.percentile(self.latencies_ns, 50)
+
+    @property
+    def p99_ns(self) -> Optional[float]:
+        if not self.latencies_ns:
+            return None
+        return metrics.percentile(self.latencies_ns, 99)
+
+    def latency_breakdown_ns(self) -> Dict[str, float]:
+        return dict(self.latency_breakdown)
+
+    def _stream(self, stream: str) -> List[int]:
+        try:
+            return self.event_streams[stream]
+        except KeyError:
+            raise KeyError(
+                f"stream {stream!r} not captured in summary; available: "
+                f"{sorted(self.event_streams)}"
+            ) from None
+
+    def count_between(self, stream: str, start: int, end: int) -> int:
+        """Events of a captured stream in ``[start, end)``."""
+        return stats_mod.count_between(self._stream(stream), start, end)
+
+    def timeline(self, stream: str, bin_us: float = 10.0) -> List[Tuple[float, float]]:
+        """(time_us, MTPS) series for a captured stream over the run window."""
+        return stats_mod.mtps_series(
+            self._stream(stream),
+            units.microseconds(bin_us),
+            self.window.start,
+            self.window.end,
+        )
+
+    def rate_per_rx_line(self, name: str) -> float:
+        """Window count of a stat normalized to RX line rate (Fig. 4)."""
+        rx = self.window.pcie_writes
+        if rx == 0:
+            return 0.0
+        return getattr(self.window, name) / rx
+
+    def dram_gbps(self, name: str) -> float:
+        """Average bandwidth of ``dram_reads``/``dram_writes`` over the window."""
+        if self.window.duration <= 0:
+            return 0.0
+        count = getattr(self.window, name)
+        return units.bytes_to_gbps(count * LINE_SIZE, self.window.duration)
+
+    def normalized_to(self, baseline: "ExperimentSummary") -> Dict[str, float]:
+        """Fig. 10-style normalization against a baseline run."""
+        values = self.window.normalized_to(baseline.window)
+        if (
+            self.burst_processing_time is not None
+            and baseline.burst_processing_time
+        ):
+            values["exe_time"] = (
+                self.burst_processing_time / baseline.burst_processing_time
+            )
+        return values
+
+    def fingerprint(self) -> Tuple:
+        """A deterministic digest of everything simulation-derived.
+
+        Excludes the wall-clock diagnostics (``wall_seconds`` and
+        ``events_per_second`` vary run to run even for identical
+        simulations); two runs of the same seeded experiment must produce
+        equal fingerprints whether they ran serially or in a worker
+        process.
+        """
+        return (
+            self.policy_name,
+            (self.window.start, self.window.end, self.window.mlc_writebacks,
+             self.window.llc_writebacks, self.window.dram_reads,
+             self.window.dram_writes, self.window.mlc_invalidations,
+             self.window.pcie_writes),
+            self.offered_packets,
+            self.rx_packets,
+            self.rx_drops,
+            self.completed,
+            self.tx_packets,
+            self.burst_processing_time,
+            tuple(self.latencies_ns),
+            self.antagonist_access_ns,
+            self.antagonist_accesses,
+            tuple(sorted(self.decisions.items())),
+            tuple(sorted(self.counters.items())),
+            tuple((k, tuple(v)) for k, v in sorted(self.event_streams.items())),
+            tuple(sorted(self.latency_breakdown.items())),
+            tuple(self.core_mem_accesses),
+            tuple(self.per_core_mean_latency_us),
+            self.bursts_detected,
+            self.headers_steered,
+            self.events_fired,
+        )
+
+
+@dataclass
 class ExperimentResult:
-    """Everything the figure benchmarks consume."""
+    """Everything the figure benchmarks consume, plus the live server.
+
+    Holding the server keeps every cache/ring/packet object reachable —
+    convenient for white-box tests, but heavy.  Sweeps should convert to
+    :meth:`summary` (and :meth:`drop_server`) as soon as the run finishes;
+    the parallel runner does this inside the worker process.
+    """
 
     experiment: Experiment
     policy_name: str
@@ -58,7 +221,15 @@ class ExperimentResult:
     antagonist_access_ns: Optional[float]
     antagonist_accesses: int
     decisions: Dict[str, int]
-    server: SimulatedServer
+    server: Optional[SimulatedServer]
+
+    def _require_server(self) -> SimulatedServer:
+        if self.server is None:
+            raise RuntimeError(
+                "server was dropped from this ExperimentResult; use the "
+                "ExperimentSummary captured before drop_server()"
+            )
+        return self.server
 
     @property
     def p50_ns(self) -> Optional[float]:
@@ -80,7 +251,7 @@ class ExperimentResult:
         """
         from ..sim import units as _units
 
-        packets = self.server.completed_packets()
+        packets = self._require_server().completed_packets()
         queueing = [p.queueing_delay for p in packets if p.queueing_delay is not None]
         service = [p.service_time for p in packets if p.service_time is not None]
         return {
@@ -95,7 +266,7 @@ class ExperimentResult:
     def timeline(self, stream: str, bin_us: float = 10.0) -> List[Tuple[float, float]]:
         """(time_us, MTPS) series for a stat stream over the run window."""
         return metrics.timeline_mtps(
-            self.server.stats,
+            self._require_server().stats,
             stream,
             self.window.start,
             self.window.end,
@@ -113,6 +284,58 @@ class ExperimentResult:
                 self.burst_processing_time / baseline.burst_processing_time
             )
         return values
+
+    def summary(self, streams: Sequence[str] = SUMMARY_STREAMS) -> ExperimentSummary:
+        """Derive the slim :class:`ExperimentSummary` from the live server."""
+        server = self._require_server()
+        events = server.stats.events
+        per_core_latency: List[float] = []
+        for driver in server.drivers:
+            lats = [p.latency for p in driver.completed_packets if p.latency]
+            per_core_latency.append(
+                units.to_microseconds(sum(lats) // len(lats)) if lats else 0.0
+            )
+        bursts = sum(
+            nic.classifier.bursts_detected
+            for nic in server.nics
+            if nic.classifier is not None
+        )
+        steered = 0
+        if server.cachedirector is not None:
+            steered = server.cachedirector.headers_steered
+        return ExperimentSummary(
+            experiment=self.experiment,
+            policy_name=self.policy_name,
+            window=self.window,
+            offered_packets=self.offered_packets,
+            rx_packets=self.rx_packets,
+            rx_drops=self.rx_drops,
+            completed=self.completed,
+            tx_packets=server.total_tx,
+            burst_processing_time=self.burst_processing_time,
+            latencies_ns=list(self.latencies_ns),
+            antagonist_access_ns=self.antagonist_access_ns,
+            antagonist_accesses=self.antagonist_accesses,
+            decisions=dict(self.decisions),
+            counters=server.stats.counters.snapshot(),
+            event_streams={s: events.timestamps(s) for s in streams},
+            latency_breakdown=self.latency_breakdown_ns(),
+            core_mem_accesses=[c.stats.mem_accesses for c in server.cores],
+            per_core_mean_latency_us=per_core_latency,
+            bursts_detected=bursts,
+            headers_steered=steered,
+            events_fired=server.sim.events_fired,
+            wall_seconds=server.sim.wall_seconds,
+            events_per_second=server.sim.events_per_second,
+        )
+
+    def drop_server(self) -> None:
+        """Release the simulated server (and with it most of the run's memory).
+
+        After this, only the summary-level fields remain usable; call
+        :meth:`summary` first if the derived data is still needed.
+        """
+        self.server = None
 
 
 def run_experiment(experiment: Experiment) -> ExperimentResult:
@@ -219,10 +442,17 @@ def _burst_length(experiment: Experiment) -> int:
 
 
 def run_policy_comparison(
-    experiment: Experiment, policies: List[PolicyConfig]
-) -> Dict[str, ExperimentResult]:
-    """Run the same workload under several policies (Fig. 9/10 pattern)."""
-    results: Dict[str, ExperimentResult] = {}
-    for policy in policies:
-        results[policy.name] = run_experiment(experiment.with_policy(policy))
-    return results
+    experiment: Experiment, policies: List[PolicyConfig], jobs: int = 1
+) -> Dict[str, ExperimentSummary]:
+    """Run the same workload under several policies (Fig. 9/10 pattern).
+
+    Returns summaries (not full results) so the comparison can fan out
+    over a process pool with ``jobs > 1``; use :func:`run_experiment`
+    directly when the live server is needed.
+    """
+    from .runner import run_experiments
+
+    summaries = run_experiments(
+        [experiment.with_policy(p) for p in policies], jobs=jobs
+    )
+    return {p.name: s for p, s in zip(policies, summaries)}

@@ -10,26 +10,29 @@ the published evaluation:
 * ring-size sweep under IDIO (the paper sweeps it only for DDIO, Fig. 4);
 * the inclusive-LLC counterfactual (DMA bloating requires non-inclusion).
 
-Each function mirrors the ``figures`` module: it runs the experiments and
-returns a :class:`~repro.harness.figures.FigureReport`.
+Each function mirrors the ``figures`` module: it declares its sweep,
+fans it out through :func:`repro.harness.runner.run_named_experiments`
+(``jobs > 1`` uses a process pool), and returns a
+:class:`~repro.harness.figures.FigureReport` over summaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..core import policies
 from ..sim import units
-from .experiment import Experiment, ExperimentResult, run_experiment
+from .experiment import Experiment
 from .figures import FigureReport, _bursty_experiment, _us
 from .report import format_table
+from .runner import run_named_experiments
 from .server import ServerConfig
 
 
 def ext_baselines(
     burst_rates: Sequence[float] = (100.0, 25.0),
     ring_size: int = 1024,
+    jobs: int = 1,
 ) -> FigureReport:
     """DDIO vs IAT (dynamic DDIO ways) vs IDIO vs regulated IDIO.
 
@@ -38,17 +41,21 @@ def ext_baselines(
     MLC, while the pointer-following prefetcher removes the MLC-flooding
     limitation IDIO's FSM merely mitigates.
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
     names = ("ddio", "iat", "idio", "idio-regulated")
+    sweep: List[Tuple[str, Experiment]] = []
     for rate in burst_rates:
         for name in names:
             policy = policies.policy_by_name(name)
             exp = _bursty_experiment(
                 f"ext-{name}-{rate:g}g", rate, ring_size
             ).with_policy(policy)
-            result = run_experiment(exp)
-            results[f"{name}@{rate:g}g"] = result
+            sweep.append((f"{name}@{rate:g}g", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for rate in burst_rates:
+        for name in names:
+            result = results[f"{name}@{rate:g}g"]
             rows.append(
                 {
                     "policy": name,
@@ -77,6 +84,7 @@ def ext_recycling_modes(
     burst_rate_gbps: float = 50.0,
     ring_size: int = 512,
     policy_names: Sequence[str] = ("ddio", "idio"),
+    jobs: int = 1,
 ) -> FigureReport:
     """The §II-B recycling modes under DDIO and IDIO.
 
@@ -84,10 +92,10 @@ def ext_recycling_modes(
     stack) doubles core-side memory traffic, and the re-allocate mode
     doubles the live DMA footprint.
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
+    modes = ("run_to_completion", "copy", "reallocate")
+    sweep: List[Tuple[str, Experiment]] = []
     for policy_name in policy_names:
-        for mode in ("run_to_completion", "copy", "reallocate"):
+        for mode in modes:
             exp = Experiment(
                 name=f"ext-recycle-{policy_name}-{mode}",
                 server=ServerConfig(
@@ -99,9 +107,13 @@ def ext_recycling_modes(
                 traffic="bursty",
                 burst_rate_gbps=burst_rate_gbps,
             )
-            result = run_experiment(exp)
-            results[f"{policy_name}/{mode}"] = result
-            core_accesses = sum(c.stats.mem_accesses for c in result.server.cores)
+            sweep.append((f"{policy_name}/{mode}", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for policy_name in policy_names:
+        for mode in modes:
+            result = results[f"{policy_name}/{mode}"]
             rows.append(
                 {
                     "policy": policy_name,
@@ -109,7 +121,7 @@ def ext_recycling_modes(
                     "mlc_wb": result.window.mlc_writebacks,
                     "llc_wb": result.window.llc_writebacks,
                     "dram_wr": result.window.dram_writes,
-                    "core_accesses": core_accesses,
+                    "core_accesses": sum(result.core_mem_accesses),
                     "burst_time_us": _us(result.burst_processing_time),
                     "p99_us": (result.p99_ns or 0) / 1000.0,
                 }
@@ -132,26 +144,31 @@ def ext_burst_threshold(
     thresholds_gbps: Sequence[float] = (2.0, 5.0, 10.0, 20.0, 50.0),
     burst_rate_gbps: float = 100.0,
     ring_size: int = 1024,
+    jobs: int = 1,
 ) -> FigureReport:
     """rxBurstTHR sensitivity (the paper fixes it at 10 Gbps)."""
-    baseline = run_experiment(
-        _bursty_experiment("ext-thr-ddio", burst_rate_gbps, ring_size)
-    )
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {"ddio": baseline}
+    sweep: List[Tuple[str, Experiment]] = [
+        ("ddio", _bursty_experiment("ext-thr-ddio", burst_rate_gbps, ring_size))
+    ]
     for thr in thresholds_gbps:
         policy = policies.idio().with_burst_threshold(thr)
         exp = _bursty_experiment(
             f"ext-thr-{thr:g}", burst_rate_gbps, ring_size
         ).with_policy(policy)
-        result = run_experiment(exp)
-        results[f"thr{thr:g}"] = result
+        sweep.append((f"thr{thr:g}", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    baseline = results["ddio"]
+    rows: List[Dict[str, object]] = []
+    for thr in thresholds_gbps:
+        result = results[f"thr{thr:g}"]
         normalized = result.normalized_to(baseline)
-        bursts = 0
-        if result.server.nic.classifier is not None:
-            bursts = result.server.nic.classifier.bursts_detected
         rows.append(
-            {"rx_burst_thr_gbps": thr, "bursts_detected": bursts, **normalized}
+            {
+                "rx_burst_thr_gbps": thr,
+                "bursts_detected": result.bursts_detected,
+                **normalized,
+            }
         )
 
     table = format_table(
@@ -169,18 +186,23 @@ def ext_burst_threshold(
 def ext_ring_sweep(
     ring_sizes: Sequence[int] = (256, 512, 1024, 2048),
     burst_rate_gbps: float = 25.0,
+    jobs: int = 1,
 ) -> FigureReport:
     """Ring-size sweep under IDIO (Fig. 4 swept it only for DDIO)."""
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
+    sweep: List[Tuple[str, Experiment]] = []
     for ring in ring_sizes:
         for name in ("ddio", "idio"):
             policy = policies.policy_by_name(name)
             exp = _bursty_experiment(
                 f"ext-ring{ring}-{name}", burst_rate_gbps, ring
             ).with_policy(policy)
-            result = run_experiment(exp)
-            results[f"{name}@ring{ring}"] = result
+            sweep.append((f"{name}@ring{ring}", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for ring in ring_sizes:
+        for name in ("ddio", "idio"):
+            result = results[f"{name}@ring{ring}"]
             rows.append(
                 {
                     "ring": ring,
@@ -209,6 +231,7 @@ def ext_traffic_realism(
     imix_rate_gbps_per_nf: float = 2.0,
     duration_us: float = 1500.0,
     ring_size: int = 1024,
+    jobs: int = 1,
 ) -> FigureReport:
     """IDIO under stochastic traffic: Poisson arrivals and IMIX sizes.
 
@@ -221,9 +244,9 @@ def ext_traffic_realism(
     and IMIX's ~362 B average frame reaches the per-core pps limit at a
     fraction of the MTU-frame bit rate.
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
-    for traffic in ("steady", "poisson", "imix"):
+    kinds = ("steady", "poisson", "imix")
+    sweep: List[Tuple[str, Experiment]] = []
+    for traffic in kinds:
         for name in ("ddio", "idio"):
             rate = imix_rate_gbps_per_nf if traffic == "imix" else rate_gbps_per_nf
             exp = Experiment(
@@ -237,8 +260,13 @@ def ext_traffic_realism(
                 steady_rate_gbps_per_nf=rate,
                 steady_duration=units.microseconds(duration_us),
             )
-            result = run_experiment(exp)
-            results[f"{traffic}/{name}"] = result
+            sweep.append((f"{traffic}/{name}", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for traffic in kinds:
+        for name in ("ddio", "idio"):
+            result = results[f"{traffic}/{name}"]
             rows.append(
                 {
                     "traffic": traffic,
@@ -265,6 +293,7 @@ def ext_mixed_deployment(
     burst_rate_gbps: float = 50.0,
     ring_size: int = 512,
     packet_bytes: int = 1024,
+    jobs: int = 1,
 ) -> FigureReport:
     """Heterogeneous deployment: a class-0 and a class-1 NF share the LLC.
 
@@ -274,8 +303,7 @@ def ext_mixed_deployment(
     class-0 neighbor keeps its MLC steering — the per-flow differentiation
     that motivates carrying the DSCP class in the TLP bits (§V-A).
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
+    sweep: List[Tuple[str, Experiment]] = []
     for name in ("ddio", "idio"):
         exp = Experiment(
             name=f"ext-mixed-{name}",
@@ -288,23 +316,20 @@ def ext_mixed_deployment(
             traffic="bursty",
             burst_rate_gbps=burst_rate_gbps,
         )
-        result = run_experiment(exp)
-        results[name] = result
-        counters = result.server.stats.counters
-        per_core_latency = []
-        for driver in result.server.drivers:
-            lats = [p.latency for p in driver.completed_packets if p.latency]
-            per_core_latency.append(
-                units.to_microseconds(sum(lats) // len(lats)) if lats else 0.0
-            )
+        sweep.append((name, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for name in ("ddio", "idio"):
+        result = results[name]
         rows.append(
             {
                 "policy": name,
-                "direct_dram_wr": counters.get("direct_dram_writes"),
+                "direct_dram_wr": result.counters.get("direct_dram_writes", 0),
                 "mlc_wb": result.window.mlc_writebacks,
                 "llc_wb": result.window.llc_writebacks,
-                "touchdrop_avg_us": per_core_latency[0],
-                "firewall_avg_us": per_core_latency[1],
+                "touchdrop_avg_us": result.per_core_mean_latency_us[0],
+                "firewall_avg_us": result.per_core_mean_latency_us[1],
             }
         )
 
@@ -326,6 +351,7 @@ def ext_cachedirector(
     ring_size: int = 1024,
     packet_bytes: int = 1024,
     llc_slices: int = 8,
+    jobs: int = 1,
 ) -> FigureReport:
     """CacheDirector baseline on a sliced (NUCA) LLC, vs DDIO and IDIO.
 
@@ -335,9 +361,9 @@ def ext_cachedirector(
     trims header access latency but leaves every writeback pathology in
     place — the paper's argument for finer-grained control.
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
-    for name in ("ddio", "cachedirector", "idio"):
+    names = ("ddio", "cachedirector", "idio")
+    sweep: List[Tuple[str, Experiment]] = []
+    for name in names:
         exp = Experiment(
             name=f"ext-cd-{name}",
             server=ServerConfig(
@@ -350,11 +376,12 @@ def ext_cachedirector(
             traffic="bursty",
             burst_rate_gbps=burst_rate_gbps,
         )
-        result = run_experiment(exp)
-        results[name] = result
-        steered = 0
-        if result.server.cachedirector is not None:
-            steered = result.server.cachedirector.headers_steered
+        sweep.append((name, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        result = results[name]
         rows.append(
             {
                 "policy": name,
@@ -362,7 +389,7 @@ def ext_cachedirector(
                 "p99_us": (result.p99_ns or 0) / 1000.0,
                 "mlc_wb": result.window.mlc_writebacks,
                 "llc_wb": result.window.llc_writebacks,
-                "headers_steered": steered,
+                "headers_steered": result.headers_steered,
             }
         )
 
@@ -383,6 +410,7 @@ def ext_saturation(
     ring_size: int = 256,
     duration_us: float = 4000.0,
     policy_names: Sequence[str] = ("ddio", "idio"),
+    jobs: int = 1,
 ) -> FigureReport:
     """Per-core saturation sweep under steady load.
 
@@ -397,8 +425,7 @@ def ext_saturation(
     within the measurement (a 1024-entry ring absorbs several ms of
     mild overload without dropping, hiding the onset).
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
+    sweep: List[Tuple[str, Experiment]] = []
     for policy_name in policy_names:
         for rate in rates_gbps:
             exp = Experiment(
@@ -412,8 +439,13 @@ def ext_saturation(
                 steady_rate_gbps_per_nf=rate,
                 steady_duration=units.microseconds(duration_us),
             )
-            result = run_experiment(exp)
-            results[f"{policy_name}@{rate:g}"] = result
+            sweep.append((f"{policy_name}@{rate:g}", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for policy_name in policy_names:
+        for rate in rates_gbps:
+            result = results[f"{policy_name}@{rate:g}"]
             offered = result.rx_packets + result.rx_drops
             rows.append(
                 {
@@ -441,6 +473,7 @@ def ext_saturation(
 def ext_inclusive_counterfactual(
     burst_rate_gbps: float = 100.0,
     ring_size: int = 1024,
+    jobs: int = 1,
 ) -> FigureReport:
     """Inclusive-LLC counterfactual: DMA bloating needs non-inclusion.
 
@@ -449,10 +482,10 @@ def ext_inclusive_counterfactual(
     non-DDIO ways — at the price of the LLC back-invalidating MLC lines on
     its own evictions.
     """
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
+    labels = ("non-inclusive", "inclusive")
+    sweep: List[Tuple[str, Experiment]] = []
     for inclusive in (False, True):
-        label = "inclusive" if inclusive else "non-inclusive"
+        label = labels[int(inclusive)]
         exp = Experiment(
             name=f"ext-{label}",
             server=ServerConfig(
@@ -461,16 +494,19 @@ def ext_inclusive_counterfactual(
             traffic="bursty",
             burst_rate_gbps=burst_rate_gbps,
         )
-        result = run_experiment(exp)
-        results[label] = result
-        counters = result.server.stats.counters
+        sweep.append((label, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for label in labels:
+        result = results[label]
         rows.append(
             {
                 "hierarchy": label,
                 "mlc_wb": result.window.mlc_writebacks,
                 "llc_wb": result.window.llc_writebacks,
                 "dram_rd": result.window.dram_reads,
-                "back_invalidations": counters.get("back_invalidations"),
+                "back_invalidations": result.counters.get("back_invalidations", 0),
                 "burst_time_us": _us(result.burst_processing_time),
             }
         )

@@ -6,7 +6,12 @@ text block that places the paper's reported values next to the measured
 ones.  The benchmarks in ``benchmarks/`` are thin wrappers over these.
 
 All functions accept scaling knobs so the same code path serves both quick
-smoke tests (small rings, short bursts) and full paper-scale runs.
+smoke tests (small rings, short bursts) and full paper-scale runs, plus a
+``jobs`` knob: every figure declares its full sweep up front and hands it
+to :func:`repro.harness.runner.run_experiments`, so ``jobs > 1`` fans the
+independent runs out over a process pool.  Results are therefore
+:class:`~repro.harness.experiment.ExperimentSummary` objects (slim and
+picklable), not live servers.
 """
 
 from __future__ import annotations
@@ -17,8 +22,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core import policies
 from ..sim import units
 from . import metrics
-from .experiment import Experiment, ExperimentResult, run_experiment
+from .experiment import Experiment, ExperimentSummary
 from .report import format_table, timeline_block
+from .runner import run_named_experiments
 from .server import ServerConfig
 
 
@@ -30,7 +36,7 @@ class FigureReport:
     title: str
     rows: List[Dict[str, object]] = field(default_factory=list)
     text: str = ""
-    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    results: Dict[str, ExperimentSummary] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.text
@@ -90,6 +96,7 @@ def fig4(
     include_1way: bool = True,
     ring_wraps: float = 1.5,
     max_duration_us: float = 30_000.0,
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 4: steady-load MLC/DRAM leak characterization under DDIO.
 
@@ -106,8 +113,6 @@ def fig4(
     """
     if loads_gbps_per_nf is None:
         loads_gbps_per_nf = {"low": 1.0, "med": 4.0, "high": 10.0}
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
 
     configs: List[Tuple[str, int, bool]] = []
     for ring in ring_sizes:
@@ -118,6 +123,7 @@ def fig4(
             if ring >= 1024:
                 configs.append(("high", ring, True))
 
+    sweep: List[Tuple[str, Experiment]] = []
     for load_name, ring, one_way in configs:
         load = loads_gbps_per_nf[load_name]
         wire_bits = (packet_bytes + 24) * 8
@@ -138,29 +144,25 @@ def fig4(
             steady_rate_gbps_per_nf=load,
             steady_duration=cell_duration,
         )
-        result = run_experiment(exp)
-        results[exp.name] = result
-        stats = result.server.stats
-        start, end = result.window.start, result.window.end
+        sweep.append((exp.name, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for (load_name, ring, one_way), (name, _) in zip(configs, sweep):
+        summary = results[name]
         rows.append(
             {
-                "config": exp.name,
+                "config": name,
                 "load": load_name,
                 "ring": ring,
                 "one_way": one_way,
-                "mlc_wb_per_rx_line": metrics.rate_normalized_to_rx(
-                    stats, "mlc_writebacks", start, end
+                "mlc_wb_per_rx_line": summary.rate_per_rx_line("mlc_writebacks"),
+                "mlc_inval_per_rx_line": summary.rate_per_rx_line(
+                    "mlc_invalidations"
                 ),
-                "mlc_inval_per_rx_line": metrics.rate_normalized_to_rx(
-                    stats, "mlc_invalidations", start, end
-                ),
-                "dram_read_gbps": metrics.dram_bandwidth_gbps(
-                    stats, "dram_reads", start, end
-                ),
-                "dram_write_gbps": metrics.dram_bandwidth_gbps(
-                    stats, "dram_writes", start, end
-                ),
-                "rx_drops": result.rx_drops,
+                "dram_read_gbps": summary.dram_gbps("dram_reads"),
+                "dram_write_gbps": summary.dram_gbps("dram_writes"),
+                "rx_drops": summary.rx_drops,
             }
         )
 
@@ -203,13 +205,15 @@ def fig5(
     num_bursts: int = 3,
     burst_rate_gbps: float = 100.0,
     burst_period_ms: float = 10.0,
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 5: writeback phases (DMA phase vs execution phase) under DDIO."""
     exp = _bursty_experiment(
         "fig5", burst_rate_gbps, ring_size, num_bursts=num_bursts
     )
     exp = replace(exp, burst_period=units.milliseconds(burst_period_ms))
-    result = run_experiment(exp)
+    results = run_named_experiments([("ddio", exp)], jobs=jobs)
+    result = results["ddio"]
 
     mlc_tl = result.timeline("mlc_writebacks")
     llc_tl = result.timeline("llc_writebacks")
@@ -239,7 +243,7 @@ def fig5(
             "WBs dominate the execution phase (dead-buffer writebacks).",
         ]
     )
-    return FigureReport("fig5", "Burst writeback timeline (DDIO)", rows, text, {"ddio": result})
+    return FigureReport("fig5", "Burst writeback timeline (DDIO)", rows, text, results)
 
 
 # ---------------------------------------------------------------------------
@@ -253,20 +257,25 @@ def fig9(
     burst_rates: Sequence[float] = (100.0, 25.0),
     ring_size: int = 1024,
     policy_names: Sequence[str] = tuple(FIG9_POLICY_ORDER),
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 9: the five placement configurations, one burst each."""
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
-    blocks: List[str] = ["Fig. 9 — per-policy writebacks (TouchDrop, one burst)"]
+    sweep: List[Tuple[str, Experiment]] = []
     for rate in burst_rates:
         for name in policy_names:
             policy = policies.policy_by_name(name)
             exp = _bursty_experiment(
                 f"fig9-{name}-{rate:g}g", rate, ring_size
             ).with_policy(policy)
-            result = run_experiment(exp)
+            sweep.append((f"{name}@{rate:g}g", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    blocks: List[str] = ["Fig. 9 — per-policy writebacks (TouchDrop, one burst)"]
+    for rate in burst_rates:
+        for name in policy_names:
             key = f"{name}@{rate:g}g"
-            results[key] = result
+            result = results[key]
             rows.append(
                 {
                     "policy": name,
@@ -314,28 +323,37 @@ def fig10(
     include_static: bool = True,
     include_corun: bool = True,
     corun_rates: Sequence[float] = (100.0, 25.0),
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 10: Static/IDIO stats normalized to DDIO, plus the co-run."""
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
 
-    def one(rate: float, policy_name: str, antagonist: bool) -> ExperimentResult:
+    def experiment(rate: float, policy_name: str, antagonist: bool) -> Experiment:
         policy = policies.policy_by_name(policy_name)
-        exp = _bursty_experiment(
+        return _bursty_experiment(
             f"fig10-{policy_name}-{rate:g}g{'-corun' if antagonist else ''}",
             rate,
             ring_size,
             antagonist=antagonist,
         ).with_policy(policy)
-        result = run_experiment(exp)
-        results[exp.name] = result
-        return result
 
     scenario_policies = ["static", "idio"] if include_static else ["idio"]
+    sweep: List[Tuple[str, Experiment]] = []
     for rate in burst_rates:
-        baseline = one(rate, "ddio", False)
+        for name in ["ddio"] + scenario_policies:
+            exp = experiment(rate, name, False)
+            sweep.append((exp.name, exp))
+    if include_corun:
+        for rate in corun_rates:
+            for name in ("ddio", "idio"):
+                exp = experiment(rate, name, True)
+                sweep.append((exp.name, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for rate in burst_rates:
+        baseline = results[f"fig10-ddio-{rate:g}g"]
         for name in scenario_policies:
-            result = one(rate, name, False)
+            result = results[f"fig10-{name}-{rate:g}g"]
             normalized = result.normalized_to(baseline)
             rows.append(
                 {
@@ -354,8 +372,8 @@ def fig10(
 
     if include_corun:
         for rate in corun_rates:
-            baseline = one(rate, "ddio", True)
-            result = one(rate, "idio", True)
+            baseline = results[f"fig10-ddio-{rate:g}g-corun"]
+            result = results[f"fig10-idio-{rate:g}g-corun"]
             normalized = result.normalized_to(baseline)
             row: Dict[str, object] = {
                 "scenario": "corun",
@@ -417,23 +435,16 @@ def fig11(
     ring_size: int = 1024,
     packet_bytes: int = 1024,
     include_payload_drop: bool = True,
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 11: zero-copy L2Fwd under DDIO vs IDIO, plus the class-1 variant."""
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
-    blocks: List[str] = ["Fig. 11 — L2Fwd (zero-copy forward), 1024 B packets"]
-
+    sweep: List[Tuple[str, Experiment]] = []
     for name in ("ddio", "idio"):
         policy = policies.policy_by_name(name)
         exp = _bursty_experiment(
             f"fig11-{name}", burst_rate_gbps, ring_size, packet_bytes, app="l2fwd"
         ).with_policy(policy)
-        result = run_experiment(exp)
-        results[name] = result
-        rows.append(_fig11_row(name, result))
-        blocks.append(timeline_block(f"{name} MLC WB", result.timeline("mlc_writebacks")))
-        blocks.append(timeline_block(f"{name} LLC WB", result.timeline("llc_writebacks")))
-
+        sweep.append((name, exp))
     if include_payload_drop:
         exp = _bursty_experiment(
             "fig11-payload-drop",
@@ -442,9 +453,18 @@ def fig11(
             packet_bytes,
             app="l2fwd-payload-drop",
         ).with_policy(policies.idio())
-        result = run_experiment(exp)
-        results["idio-payload-drop"] = result
-        rows.append(_fig11_row("idio-payload-drop", result))
+        sweep.append(("idio-payload-drop", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    blocks: List[str] = ["Fig. 11 — L2Fwd (zero-copy forward), 1024 B packets"]
+    for name in ("ddio", "idio"):
+        result = results[name]
+        rows.append(_fig11_row(name, result))
+        blocks.append(timeline_block(f"{name} MLC WB", result.timeline("mlc_writebacks")))
+        blocks.append(timeline_block(f"{name} LLC WB", result.timeline("llc_writebacks")))
+    if include_payload_drop:
+        rows.append(_fig11_row("idio-payload-drop", results["idio-payload-drop"]))
 
     table = format_table(
         ["config", "MLC WB", "LLC WB", "DRAM wr", "direct DRAM wr", "TX pkts"],
@@ -469,14 +489,14 @@ def fig11(
     return FigureReport("fig11", "L2Fwd timelines", rows, "\n".join(blocks), results)
 
 
-def _fig11_row(name: str, result: ExperimentResult) -> Dict[str, object]:
+def _fig11_row(name: str, result: ExperimentSummary) -> Dict[str, object]:
     return {
         "config": name,
         "mlc_wb": result.window.mlc_writebacks,
         "llc_wb": result.window.llc_writebacks,
         "dram_wr": result.window.dram_writes,
-        "direct_dram_wr": result.server.stats.counters.get("direct_dram_writes"),
-        "tx_packets": result.server.nic.total_tx,
+        "direct_dram_wr": result.counters.get("direct_dram_writes", 0),
+        "tx_packets": result.tx_packets,
     }
 
 
@@ -488,13 +508,12 @@ def fig12(
     burst_rates: Sequence[float] = (100.0, 25.0, 10.0),
     ring_size: int = 1024,
     include_corun: bool = True,
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 12: tail latency of TouchDrop under DDIO vs IDIO."""
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
     scenarios = [("solo", False)] + ([("corun", True)] if include_corun else [])
 
-    baselines: Dict[Tuple[str, float], ExperimentResult] = {}
+    sweep: List[Tuple[str, Experiment]] = []
     for scenario, antagonist in scenarios:
         for rate in burst_rates:
             for name in ("ddio", "idio"):
@@ -505,31 +524,33 @@ def fig12(
                     ring_size,
                     antagonist=antagonist,
                 ).with_policy(policy)
-                result = run_experiment(exp)
-                results[exp.name] = result
-                if name == "ddio":
-                    baselines[(scenario, rate)] = result
-                    continue
-                base = baselines[(scenario, rate)]
-                paper = (
-                    PAPER_FIG12_P99_REDUCTION_SOLO
-                    if scenario == "solo"
-                    else PAPER_FIG12_P99_REDUCTION_CORUN
-                ).get(rate)
-                rows.append(
-                    {
-                        "scenario": scenario,
-                        "rate_gbps": rate,
-                        "ddio_p50_us": _us_f(base.p50_ns),
-                        "idio_p50_us": _us_f(result.p50_ns),
-                        "ddio_p99_us": _us_f(base.p99_ns),
-                        "idio_p99_us": _us_f(result.p99_ns),
-                        "p99_reduction_pct": metrics.reduction_percent(
-                            base.p99_ns or 0.0, result.p99_ns or 0.0
-                        ),
-                        "paper_p99_reduction_pct": paper,
-                    }
-                )
+                sweep.append((exp.name, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for scenario, _ in scenarios:
+        for rate in burst_rates:
+            base = results[f"fig12-ddio-{rate:g}g-{scenario}"]
+            result = results[f"fig12-idio-{rate:g}g-{scenario}"]
+            paper = (
+                PAPER_FIG12_P99_REDUCTION_SOLO
+                if scenario == "solo"
+                else PAPER_FIG12_P99_REDUCTION_CORUN
+            ).get(rate)
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "rate_gbps": rate,
+                    "ddio_p50_us": _us_f(base.p50_ns),
+                    "idio_p50_us": _us_f(result.p50_ns),
+                    "ddio_p99_us": _us_f(base.p99_ns),
+                    "idio_p99_us": _us_f(result.p99_ns),
+                    "p99_reduction_pct": metrics.reduction_percent(
+                        base.p99_ns or 0.0, result.p99_ns or 0.0
+                    ),
+                    "paper_p99_reduction_pct": paper,
+                }
+            )
 
     table = format_table(
         [
@@ -568,13 +589,10 @@ def fig13(
     rate_gbps_per_nf: float = 10.0,
     ring_size: int = 1024,
     duration_us: float = 1500.0,
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 13: steady 10 Gbps/NF TouchDrop under DDIO vs IDIO."""
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {}
-    blocks: List[str] = [
-        f"Fig. 13 — steady {rate_gbps_per_nf:g} Gbps per NF (TouchDrop)"
-    ]
+    sweep: List[Tuple[str, Experiment]] = []
     for name in ("ddio", "idio"):
         policy = policies.policy_by_name(name)
         exp = Experiment(
@@ -584,8 +602,15 @@ def fig13(
             steady_rate_gbps_per_nf=rate_gbps_per_nf,
             steady_duration=units.microseconds(duration_us),
         ).with_policy(policy)
-        result = run_experiment(exp)
-        results[name] = result
+        sweep.append((name, exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    rows: List[Dict[str, object]] = []
+    blocks: List[str] = [
+        f"Fig. 13 — steady {rate_gbps_per_nf:g} Gbps per NF (TouchDrop)"
+    ]
+    for name in ("ddio", "idio"):
+        result = results[name]
         rows.append(
             {
                 "policy": name,
@@ -618,21 +643,24 @@ def fig14(
     thresholds_mtps: Sequence[float] = (10.0, 25.0, 50.0, 75.0, 100.0),
     burst_rate_gbps: float = 100.0,
     ring_size: int = 1024,
+    jobs: int = 1,
 ) -> FigureReport:
     """Fig. 14: sweep mlcTHR from 10 to 100 MTPS at the 100 Gbps burst."""
-    baseline = run_experiment(
-        _bursty_experiment("fig14-ddio", burst_rate_gbps, ring_size)
-    )
-    rows: List[Dict[str, object]] = []
-    results: Dict[str, ExperimentResult] = {"ddio": baseline}
+    sweep: List[Tuple[str, Experiment]] = [
+        ("ddio", _bursty_experiment("fig14-ddio", burst_rate_gbps, ring_size))
+    ]
     for thr in thresholds_mtps:
         policy = policies.idio().with_threshold(thr)
         exp = _bursty_experiment(
             f"fig14-idio-thr{thr:g}", burst_rate_gbps, ring_size
         ).with_policy(policy)
-        result = run_experiment(exp)
-        results[f"thr{thr:g}"] = result
-        normalized = result.normalized_to(baseline)
+        sweep.append((f"thr{thr:g}", exp))
+    results = run_named_experiments(sweep, jobs=jobs)
+
+    baseline = results["ddio"]
+    rows: List[Dict[str, object]] = []
+    for thr in thresholds_mtps:
+        normalized = results[f"thr{thr:g}"].normalized_to(baseline)
         rows.append({"mlc_thr_mtps": thr, **normalized})
 
     table = format_table(

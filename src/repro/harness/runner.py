@@ -1,0 +1,87 @@
+"""Parallel experiment runner: fan sweeps out over a process pool.
+
+Every figure in the evaluation is a sweep of independent, seeded
+:class:`~repro.harness.experiment.Experiment` runs, so the natural unit
+of parallelism is one experiment per worker process.  Workers return
+:class:`~repro.harness.experiment.ExperimentSummary` objects — the slim,
+picklable slice of a run — never the live server, which keeps the
+transfer cheap and the parent's memory flat over long sweeps.
+
+Guarantees:
+
+* **Determinism** — an experiment carries its own seeds; a worker process
+  replays it identically to a serial run (the determinism regression test
+  compares the two fingerprints byte for byte).
+* **Ordered results** — ``run_experiments`` returns summaries in the
+  order the experiments were given, regardless of completion order.
+* **Graceful fallback** — ``jobs <= 1``, a single experiment, or a host
+  where process pools cannot be created (sandboxes without ``fork`` /
+  semaphores) all degrade to the serial path with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .experiment import Experiment, ExperimentSummary, run_experiment
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "all cores" (``jobs=None``)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def run_experiment_summary(experiment: Experiment) -> ExperimentSummary:
+    """Run one experiment and reduce it to a summary, releasing the server."""
+    result = run_experiment(experiment)
+    summary = result.summary()
+    result.drop_server()
+    return summary
+
+
+def _run_serial(experiments: Sequence[Experiment]) -> List[ExperimentSummary]:
+    return [run_experiment_summary(exp) for exp in experiments]
+
+
+def run_experiments(
+    experiments: Iterable[Experiment], jobs: int = 1
+) -> List[ExperimentSummary]:
+    """Run a batch of experiments, ``jobs`` at a time, preserving order.
+
+    ``jobs=1`` (the default) runs serially in-process; ``jobs=None`` uses
+    one worker per available core.  The pool path and the serial path
+    produce identical summaries for seeded experiments.
+    """
+    batch = list(experiments)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(batch) <= 1:
+        return _run_serial(batch)
+    try:
+        pool = multiprocessing.get_context().Pool(min(jobs, len(batch)))
+    except (OSError, PermissionError, ValueError):
+        # No semaphores / fork support (restricted sandbox): run serially.
+        return _run_serial(batch)
+    try:
+        return pool.map(run_experiment_summary, batch, chunksize=1)
+    finally:
+        pool.close()
+        pool.join()
+
+
+def run_named_experiments(
+    named: Sequence[Tuple[str, Experiment]], jobs: int = 1
+) -> Dict[str, ExperimentSummary]:
+    """Run ``(key, experiment)`` pairs and return ``{key: summary}``.
+
+    The figure harness builds its result dictionaries this way: declare
+    the whole sweep up front, fan it out, then index summaries by key.
+    Insertion order of the dict follows the input order.
+    """
+    summaries = run_experiments([exp for _, exp in named], jobs=jobs)
+    return {key: summary for (key, _), summary in zip(named, summaries)}

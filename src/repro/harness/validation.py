@@ -67,8 +67,8 @@ def _fmt(value: float, digits: int = 3) -> str:
     return f"{value:.{digits}g}"
 
 
-def validate_fig9(card: Scorecard, ring_size: int) -> None:
-    report = figures.fig9(burst_rates=(100.0, 25.0), ring_size=ring_size)
+def validate_fig9(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
+    report = figures.fig9(burst_rates=(100.0, 25.0), ring_size=ring_size, jobs=jobs)
 
     def row(policy: str, rate: float) -> Dict[str, object]:
         for r in report.rows:
@@ -103,13 +103,14 @@ def validate_fig9(card: Scorecard, ring_size: int) -> None:
     )
 
 
-def validate_fig10(card: Scorecard, ring_size: int) -> None:
+def validate_fig10(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
     report = figures.fig10(
         burst_rates=(100.0, 25.0, 10.0),
         ring_size=ring_size,
         include_static=False,
         include_corun=True,
         corun_rates=(25.0,),
+        jobs=jobs,
     )
 
     def row(scenario: str, rate: float) -> Dict[str, object]:
@@ -164,8 +165,8 @@ def validate_fig10(card: Scorecard, ring_size: int) -> None:
     )
 
 
-def validate_fig11(card: Scorecard, ring_size: int) -> None:
-    report = figures.fig11(ring_size=ring_size)
+def validate_fig11(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
+    report = figures.fig11(ring_size=ring_size, jobs=jobs)
     rows = {r["config"]: r for r in report.rows}
     card.add(
         "fig11",
@@ -186,9 +187,9 @@ def validate_fig11(card: Scorecard, ring_size: int) -> None:
         )
 
 
-def validate_fig12(card: Scorecard, ring_size: int) -> None:
+def validate_fig12(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
     report = figures.fig12(
-        burst_rates=(100.0, 25.0), ring_size=ring_size, include_corun=False
+        burst_rates=(100.0, 25.0), ring_size=ring_size, include_corun=False, jobs=jobs
     )
     rows = {r["rate_gbps"]: r for r in report.rows}
     cut100 = rows[100.0]["p99_reduction_pct"]
@@ -208,8 +209,8 @@ def validate_fig12(card: Scorecard, ring_size: int) -> None:
     )
 
 
-def validate_fig13(card: Scorecard, ring_size: int) -> None:
-    report = figures.fig13(ring_size=ring_size, duration_us=1500.0)
+def validate_fig13(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
+    report = figures.fig13(ring_size=ring_size, duration_us=1500.0, jobs=jobs)
     rows = {r["policy"]: r for r in report.rows}
     card.add(
         "fig13",
@@ -221,9 +222,9 @@ def validate_fig13(card: Scorecard, ring_size: int) -> None:
     )
 
 
-def validate_fig14(card: Scorecard, ring_size: int) -> None:
+def validate_fig14(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
     report = figures.fig14(
-        thresholds_mtps=(10.0, 50.0, 100.0), ring_size=ring_size
+        thresholds_mtps=(10.0, 50.0, 100.0), ring_size=ring_size, jobs=jobs
     )
     worst = max(r.get("exe_time", 1.0) for r in report.rows)
     spread = worst - min(r.get("exe_time", 1.0) for r in report.rows)
@@ -236,8 +237,8 @@ def validate_fig14(card: Scorecard, ring_size: int) -> None:
     )
 
 
-def validate_extensions(card: Scorecard, ring_size: int) -> None:
-    report = extensions.ext_baselines(burst_rates=(100.0,), ring_size=ring_size)
+def validate_extensions(card: Scorecard, ring_size: int, jobs: int = 1) -> None:
+    report = extensions.ext_baselines(burst_rates=(100.0,), ring_size=ring_size, jobs=jobs)
     rows = {r["policy"]: r for r in report.rows}
     card.add(
         "ext",
@@ -256,7 +257,7 @@ def validate_extensions(card: Scorecard, ring_size: int) -> None:
 
 
 #: Validators in execution order.
-VALIDATORS: List[Callable[[Scorecard, int], None]] = [
+VALIDATORS: List[Callable[[Scorecard, int, int], None]] = [
     validate_fig9,
     validate_fig10,
     validate_fig11,
@@ -267,16 +268,20 @@ VALIDATORS: List[Callable[[Scorecard, int], None]] = [
 ]
 
 
-def run_validation(quick: bool = False) -> Scorecard:
+def run_validation(quick: bool = False, jobs: int = 1) -> Scorecard:
     """Run the scorecard; ``quick`` shrinks the rings for smoke runs.
 
     Quick mode uses 512-entry rings — large enough for every phenomenon
     (the ring must exceed the 1 MB MLC's 16384-line capacity only for the
     steady-state MLC writeback claims, which fig13 checks with its own
     window), and roughly 3x faster than paper scale.
+
+    ``jobs`` fans each validator's experiment sweep out over a process
+    pool (the validators themselves stay sequential: each one is a short
+    pipeline of figure runs whose sweeps carry the parallelism).
     """
     ring_size = 512 if quick else 1024
     card = Scorecard()
     for validator in VALIDATORS:
-        validator(card, ring_size)
+        validator(card, ring_size, jobs)
     return card

@@ -70,11 +70,37 @@ class SetAssociativeCache:
         self.policy: ReplacementPolicy = make_policy(
             config.replacement, self.num_sets, self.assoc
         )
+        self._all_ways: Tuple[int, ...] = tuple(range(self.assoc))
+        #: Validated way masks keyed by their tuple form (masks repeat:
+        #: the DDIO ways, the CPU fill order, per-core CAT masks).
+        self._mask_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        # Shift/mask fast path for set indexing (both the line size and —
+        # for all shipped geometries — the set count are powers of two).
+        line_size = config.line_size
+        self._line_shift = (
+            line_size.bit_length() - 1 if line_size & (line_size - 1) == 0 else -1
+        )
+        self._set_mask = (
+            self.num_sets - 1 if self.num_sets & (self.num_sets - 1) == 0 else -1
+        )
 
     # -- addressing ---------------------------------------------------
 
     def set_index(self, addr: int) -> int:
+        if self._line_shift >= 0 and self._set_mask >= 0:
+            return (addr >> self._line_shift) & self._set_mask
         return (addr // self.config.line_size) % self.num_sets
+
+    def _validated_mask(self, key: Tuple[int, ...]) -> Tuple[int, ...]:
+        if not key:
+            raise ValueError(f"{self.config.name}: empty way mask")
+        for w in key:
+            if w < 0 or w >= self.assoc:
+                raise ValueError(
+                    f"{self.config.name}: way {w} outside 0..{self.assoc - 1}"
+                )
+        self._mask_cache[key] = key
+        return key
 
     # -- queries ------------------------------------------------------
 
@@ -130,7 +156,8 @@ class SetAssociativeCache:
         recency touched) and returns ``None``.
         """
         addr = line.addr
-        existing_loc = self._where.get(addr)
+        where = self._where
+        existing_loc = where.get(addr)
         if existing_loc is not None:
             set_idx, way = existing_loc
             resident = self._sets[set_idx][way]
@@ -141,33 +168,31 @@ class SetAssociativeCache:
             self.policy.on_access(set_idx, way)
             return None
 
-        set_idx = self.set_index(addr)
-        ways = range(self.assoc) if way_mask is None else way_mask
-        ways = list(ways)
-        if not ways:
-            raise ValueError(f"{self.config.name}: empty way mask")
-        for w in ways:
-            if w < 0 or w >= self.assoc:
-                raise ValueError(
-                    f"{self.config.name}: way {w} outside 0..{self.assoc - 1}"
-                )
+        if self._line_shift >= 0 and self._set_mask >= 0:
+            set_idx = (addr >> self._line_shift) & self._set_mask
+        else:
+            set_idx = (addr // self.config.line_size) % self.num_sets
+        if way_mask is None:
+            ways: Tuple[int, ...] = self._all_ways
+        else:
+            key = tuple(way_mask)
+            ways = self._mask_cache.get(key) or self._validated_mask(key)
 
         cache_set = self._sets[set_idx]
         victim: Optional[CacheLine] = None
-        target_way: Optional[int] = None
+        target_way = -1
         for w in ways:
             if cache_set[w] is None:
                 target_way = w
                 break
-        if target_way is None:
+        if target_way < 0:
             target_way = self.policy.victim(set_idx, ways)
             victim = cache_set[target_way]
-            assert victim is not None
-            del self._where[victim.addr]
+            del where[victim.addr]
             self.policy.on_evict(set_idx, target_way)
 
         cache_set[target_way] = line
-        self._where[addr] = (set_idx, target_way)
+        where[addr] = (set_idx, target_way)
         self.policy.on_access(set_idx, target_way)
         return victim
 

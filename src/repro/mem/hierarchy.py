@@ -141,6 +141,14 @@ class MemoryHierarchy:
         self.mlc_wb_listeners: List[Callable[[int, int], None]] = []
         #: Called with (addr, now) on every line evicted from LLC to DRAM.
         self.llc_wb_listeners: List[Callable[[int, int], None]] = []
+        # Per-core counter names, pre-formatted once (these are bumped on
+        # every writeback/invalidation; f-strings there are measurable).
+        self._mlc_wb_names = [
+            f"mlc_writebacks_c{core}" for core in range(config.num_cores)
+        ]
+        self._mlc_inval_names = [
+            f"mlc_invalidations_c{core}" for core in range(config.num_cores)
+        ]
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -148,7 +156,7 @@ class MemoryHierarchy:
 
     def _notify_mlc_wb(self, core: int, now: int) -> None:
         self.stats.bump("mlc_writebacks", now)
-        self.stats.bump(f"mlc_writebacks_c{core}", now, log=False)
+        self.stats.bump(self._mlc_wb_names[core], now, log=False)
         for listener in self.mlc_wb_listeners:
             listener(core, now)
 
@@ -362,7 +370,7 @@ class MemoryHierarchy:
         for core in owners:
             self._drop_private(core, addr)
             self.stats.bump("mlc_invalidations", now)
-            self.stats.bump(f"mlc_invalidations_c{core}", now, log=False)
+            self.stats.bump(self._mlc_inval_names[core], now, log=False)
         if owners:
             self.llc.directory.remove(addr)
 

@@ -33,7 +33,49 @@ class ReplacementPolicy:
 
 
 class LRUPolicy(ReplacementPolicy):
-    """True least-recently-used, via a global access counter per way."""
+    """True least-recently-used, via a global access counter per way.
+
+    Recency is a flat per-set list of access ticks (0 = never touched),
+    and the victim scan is a plain comparison loop.  This is the hot path
+    of every cache fill; see :class:`ReferenceLRUPolicy` for the original
+    ``min()``-over-a-dict formulation it must stay equivalent to (the
+    property test in ``tests/test_mem_replacement_property.py`` checks
+    the equivalence on random traces).
+    """
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._tick = 0
+        self._last_use: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        self._tick += 1
+        self._last_use[set_idx][way] = self._tick
+
+    def on_evict(self, set_idx: int, way: int) -> None:
+        self._last_use[set_idx][way] = 0
+
+    def victim(self, set_idx: int, eligible_ways: Sequence[int]) -> int:
+        row = self._last_use[set_idx]
+        best_way = -1
+        best_tick = -1
+        for w in eligible_ways:
+            t = row[w]
+            if best_tick < 0 or t < best_tick:
+                best_way = w
+                best_tick = t
+        if best_way < 0:
+            raise ValueError("no eligible ways to evict")
+        return best_way
+
+
+class ReferenceLRUPolicy(ReplacementPolicy):
+    """The original dict + ``min()`` LRU implementation.
+
+    Kept as the behavioral reference for :class:`LRUPolicy`: ties (never-
+    touched ways) break toward the first eligible way, exactly like the
+    optimized comparison loop.
+    """
 
     def __init__(self, num_sets: int, assoc: int) -> None:
         super().__init__(num_sets, assoc)
@@ -133,6 +175,7 @@ class RandomPolicy(ReplacementPolicy):
 
 _POLICIES = {
     "lru": LRUPolicy,
+    "lru-ref": ReferenceLRUPolicy,
     "plru": TreePLRUPolicy,
     "random": RandomPolicy,
 }

@@ -48,11 +48,63 @@ class Counter:
         return f"Counter({body})"
 
 
+def count_between(times: List[int], start: int, end: int) -> int:
+    """Events of a sorted timestamp list falling in ``[start, end)``."""
+    lo = _bisect_left(times, start)
+    hi = _bisect_left(times, end)
+    return hi - lo
+
+
+def rate_series(
+    times: List[int],
+    bin_ticks: int,
+    start: int = 0,
+    end: int = 0,
+) -> List[Tuple[int, int]]:
+    """Bin a timestamp list into ``(bin_start_tick, count)`` pairs.
+
+    ``end`` defaults to the last timestamp (rounded up to a full bin).
+    Empty bins are included so timelines have a uniform x axis.
+    """
+    if bin_ticks <= 0:
+        raise ValueError(f"bin width must be positive, got {bin_ticks}")
+    if end <= start:
+        end = (times[-1] + 1) if times else start
+    num_bins = max(0, -(-(end - start) // bin_ticks))
+    bins = [0] * num_bins
+    for t in times:
+        if start <= t < start + num_bins * bin_ticks:
+            bins[(t - start) // bin_ticks] += 1
+    return [(start + i * bin_ticks, c) for i, c in enumerate(bins)]
+
+
+def mtps_series(
+    times: List[int],
+    bin_ticks: int,
+    start: int = 0,
+    end: int = 0,
+) -> List[Tuple[float, float]]:
+    """Rate series in (time_us, million-transactions-per-second).
+
+    This is the unit the paper plots (MTPS) with its 10 us sampling
+    interval.
+    """
+    series = rate_series(times, bin_ticks, start, end)
+    bin_seconds = bin_ticks / units.SECOND
+    return [
+        (units.to_microseconds(t), count / bin_seconds / 1e6)
+        for t, count in series
+    ]
+
+
 class EventLog:
     """Timestamp logs, one list per named event stream.
 
     Timestamps are simulator ticks.  ``record`` is the hot path and is kept
-    to a single ``append``.
+    to a single ``append``.  The binning helpers are module-level functions
+    (``count_between``/``rate_series``/``mtps_series``) so that detached
+    timestamp lists — e.g. the ones an ``ExperimentSummary`` carries across
+    process boundaries — bin identically to a live log.
     """
 
     def __init__(self) -> None:
@@ -66,10 +118,7 @@ class EventLog:
 
     def count_between(self, stream: str, start: int, end: int) -> int:
         """Events in ``[start, end)``; assumes timestamps are non-decreasing."""
-        times = self._streams.get(stream, [])
-        lo = _bisect_left(times, start)
-        hi = _bisect_left(times, end)
-        return hi - lo
+        return count_between(self._streams.get(stream, []), start, end)
 
     def streams(self) -> Iterable[str]:
         return self._streams.keys()
@@ -84,22 +133,8 @@ class EventLog:
         start: int = 0,
         end: int = 0,
     ) -> List[Tuple[int, int]]:
-        """Bin a stream into ``(bin_start_tick, count)`` pairs.
-
-        ``end`` defaults to the last timestamp (rounded up to a full bin).
-        Empty bins are included so timelines have a uniform x axis.
-        """
-        if bin_ticks <= 0:
-            raise ValueError(f"bin width must be positive, got {bin_ticks}")
-        times = self._streams.get(stream, [])
-        if end <= start:
-            end = (times[-1] + 1) if times else start
-        num_bins = max(0, -(-(end - start) // bin_ticks))
-        bins = [0] * num_bins
-        for t in times:
-            if start <= t < start + num_bins * bin_ticks:
-                bins[(t - start) // bin_ticks] += 1
-        return [(start + i * bin_ticks, c) for i, c in enumerate(bins)]
+        """Bin a stream into ``(bin_start_tick, count)`` pairs."""
+        return rate_series(self._streams.get(stream, []), bin_ticks, start, end)
 
     def mtps_series(
         self,
@@ -108,17 +143,8 @@ class EventLog:
         start: int = 0,
         end: int = 0,
     ) -> List[Tuple[float, float]]:
-        """Rate series in (time_us, million-transactions-per-second).
-
-        This is the unit the paper plots (MTPS) with its 10 us sampling
-        interval.
-        """
-        series = self.rate_series(stream, bin_ticks, start, end)
-        bin_seconds = bin_ticks / units.SECOND
-        return [
-            (units.to_microseconds(t), count / bin_seconds / 1e6)
-            for t, count in series
-        ]
+        """Rate series in (time_us, MTPS) — the unit the paper plots."""
+        return mtps_series(self._streams.get(stream, []), bin_ticks, start, end)
 
     def reset(self) -> None:
         self._streams.clear()
@@ -141,13 +167,25 @@ class StatsBundle:
     def __init__(self) -> None:
         self.counters = Counter()
         self.events = EventLog()
+        # ``bump`` is the hottest statistics call in the simulator (one per
+        # hierarchy state transition); it updates the underlying dicts
+        # directly instead of going through the Counter/EventLog methods.
+        # ``reset()`` clears those dicts in place, so the references stay
+        # valid for the lifetime of the bundle.
+        self._counter_values = self.counters._values
+        self._event_streams = self.events._streams
 
     def bump(self, name: str, time: int, amount: int = 1, log: bool = True) -> None:
         """Increment a counter and (optionally) log each occurrence's time."""
-        self.counters.add(name, amount)
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount} for {name!r}")
+        self._counter_values[name] += amount
         if log:
-            for _ in range(amount):
-                self.events.record(name, time)
+            stream = self._event_streams[name]
+            if amount == 1:
+                stream.append(time)
+            else:
+                stream.extend([time] * amount)
 
     def reset(self) -> None:
         self.counters.reset()

@@ -31,7 +31,7 @@ APP_CLASS_LONG_USE = 1
 _packet_ids = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FiveTuple:
     """The flow identity Flow Director hashes (§II-C)."""
 
@@ -53,7 +53,7 @@ class FiveTuple:
         return h & ((1 << table_bits) - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network frame (RX direction unless noted)."""
 

@@ -14,7 +14,7 @@ from typing import Callable, Optional, Sequence
 
 from ..mem.line import LINE_SIZE, lines_spanning
 from ..pcie.root_complex import RootComplex
-from ..pcie.tlp import IdioTag, MemReadTLP, MemWriteTLP
+from ..pcie.tlp import IdioTag
 from ..sim import Simulator, units
 
 
@@ -63,10 +63,12 @@ class DMAEngine:
         finish = self._occupy_link(len(lines))
 
         def do_writes() -> None:
-            for i, addr in enumerate(lines):
-                tag = tags[i] if tags is not None else IdioTag()
-                self.root_complex.memory_write(MemWriteTLP(address=addr, tag=tag))
-                self.lines_written += 1
+            # One batched root-complex call per buffer: each line is still
+            # an individual memory-write TLP semantically, but the Python
+            # per-line overhead (TLP object + header encode/decode) is
+            # hoisted out of the loop.
+            self.root_complex.memory_write_batch(lines, tags)
+            self.lines_written += len(lines)
             if on_complete is not None:
                 on_complete()
 
@@ -84,9 +86,8 @@ class DMAEngine:
         finish = self._occupy_link(len(lines))
 
         def do_reads() -> None:
-            for addr in lines:
-                self.root_complex.memory_read(MemReadTLP(address=addr))
-                self.lines_read += 1
+            self.root_complex.memory_read_batch(lines)
+            self.lines_read += len(lines)
             if on_complete is not None:
                 on_complete()
 

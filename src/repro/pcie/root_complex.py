@@ -10,11 +10,15 @@ TLP's decoded metadata and decides the placement.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..mem.hierarchy import MemoryHierarchy
 from ..sim import Simulator
-from .tlp import IdioTag, MemReadTLP, MemWriteTLP, decode_idio_bits
+from .tlp import IdioTag, MemReadTLP, MemWriteTLP, decode_idio_bits, encode_idio_bits
+
+#: Format/type DW0 bits of a memory-write TLP (MWr, 3DW header).
+_MWR_FMT_TYPE = 0x40 << 24
+_UNTAGGED = IdioTag()
 
 
 #: A steering hook: (tag, address, now) -> placement ("llc" or "dram").
@@ -55,6 +59,43 @@ class RootComplex:
             placement = "llc"  # baseline DDIO: static LLC placement
         return self.hierarchy.pcie_write(tlp.address, now, placement=placement)
 
+    def memory_write_batch(
+        self,
+        addrs: Sequence[int],
+        tags: Optional[Sequence[IdioTag]] = None,
+    ) -> None:
+        """Process one DMA burst: a memory-write TLP per line, same tick.
+
+        Semantically identical to calling :meth:`memory_write` once per
+        line (each line's tag still round-trips through the Fig. 7 header
+        bit layout), but without constructing a TLP object per line — the
+        encode/decode pair is memoized on the handful of distinct tags a
+        run produces.  This is the RX data path's hottest entry point.
+        """
+        now = self.sim.now
+        hook = self.steering_hook
+        pcie_write = self.hierarchy.pcie_write
+        if tags is None:
+            tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(_UNTAGGED))
+            if hook is None:
+                for addr in addrs:
+                    pcie_write(addr, now, placement="llc")
+            else:
+                for addr in addrs:
+                    pcie_write(addr, now, placement=hook(tag, addr, now))
+            return
+        for addr, raw_tag in zip(addrs, tags):
+            tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(raw_tag))
+            placement = hook(tag, addr, now) if hook is not None else "llc"
+            pcie_write(addr, now, placement=placement)
+
     def memory_read(self, tlp: MemReadTLP) -> int:
         """Process one outbound DMA read TLP (TX); returns hierarchy latency."""
         return self.hierarchy.pcie_read(tlp.address, self.sim.now)
+
+    def memory_read_batch(self, addrs: Sequence[int]) -> None:
+        """Process one TX burst: a memory-read TLP per line, same tick."""
+        now = self.sim.now
+        pcie_read = self.hierarchy.pcie_read
+        for addr in addrs:
+            pcie_read(addr, now)

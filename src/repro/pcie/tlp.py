@@ -17,6 +17,7 @@ is checked by construction, not assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 #: Reserved-bit positions of the first TLP header DW used by IDIO (Fig. 7).
 HEADER_FLAG_BIT = 31
@@ -33,7 +34,7 @@ _IDIO_MASK = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IdioTag:
     """Classifier metadata carried by one DMA write TLP (Alg. 1 inputs)."""
 
@@ -51,8 +52,13 @@ class IdioTag:
             )
 
 
+@lru_cache(maxsize=None)
 def encode_idio_bits(tag: IdioTag) -> int:
-    """Pack an :class:`IdioTag` into the reserved bits of a TLP header DW."""
+    """Pack an :class:`IdioTag` into the reserved bits of a TLP header DW.
+
+    Memoized: only a handful of distinct tags ever exist per run (per-core
+    header/payload/burst combinations), and tags are frozen/hashable.
+    """
     core_code = APP_CLASS1_CORE_CODE if tag.app_class == 1 else tag.dest_core
     word = 0
     for i, bit in enumerate(DEST_CORE_BITS):
@@ -65,8 +71,13 @@ def encode_idio_bits(tag: IdioTag) -> int:
     return word
 
 
+@lru_cache(maxsize=None)
 def decode_idio_bits(word: int) -> IdioTag:
-    """Unpack the reserved bits back into an :class:`IdioTag`."""
+    """Unpack the reserved bits back into an :class:`IdioTag`.
+
+    Memoized on the header word; the returned tag is immutable, so sharing
+    one instance across transactions is safe.
+    """
     core_code = 0
     for bit in DEST_CORE_BITS:
         core_code = (core_code << 1) | ((word >> bit) & 1)
@@ -79,7 +90,7 @@ def decode_idio_bits(word: int) -> IdioTag:
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemWriteTLP:
     """A memory-write TLP for one cacheline of inbound DMA."""
 
@@ -99,7 +110,7 @@ class MemWriteTLP:
         return word
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemReadTLP:
     """A memory-read TLP for one cacheline of outbound DMA (TX)."""
 

@@ -17,7 +17,9 @@ def make_card(all_pass: bool) -> Scorecard:
 class TestValidateCommand:
     def test_exit_zero_when_all_pass(self, monkeypatch, capsys):
         monkeypatch.setattr(
-            validation_mod, "run_validation", lambda quick=False: make_card(True)
+            validation_mod,
+            "run_validation",
+            lambda quick=False, jobs=1: make_card(True),
         )
         assert main(["validate", "--quick"]) == 0
         out = capsys.readouterr().out
@@ -25,7 +27,9 @@ class TestValidateCommand:
 
     def test_exit_nonzero_on_failure(self, monkeypatch, capsys):
         monkeypatch.setattr(
-            validation_mod, "run_validation", lambda quick=False: make_card(False)
+            validation_mod,
+            "run_validation",
+            lambda quick=False, jobs=1: make_card(False),
         )
         assert main(["validate"]) == 1
         assert "FAIL" in capsys.readouterr().out
@@ -33,8 +37,9 @@ class TestValidateCommand:
     def test_quick_flag_forwarded(self, monkeypatch):
         seen = {}
 
-        def fake(quick=False):
+        def fake(quick=False, jobs=1):
             seen["quick"] = quick
+            seen["jobs"] = jobs
             return make_card(True)
 
         monkeypatch.setattr(validation_mod, "run_validation", fake)
@@ -42,3 +47,14 @@ class TestValidateCommand:
         assert seen["quick"] is True
         main(["validate"])
         assert seen["quick"] is False
+
+    def test_jobs_flag_forwarded(self, monkeypatch):
+        seen = {}
+
+        def fake(quick=False, jobs=1):
+            seen["jobs"] = jobs
+            return make_card(True)
+
+        monkeypatch.setattr(validation_mod, "run_validation", fake)
+        main(["validate", "--quick", "--jobs", "4"])
+        assert seen["jobs"] == 4

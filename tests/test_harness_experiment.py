@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.policies import ddio, idio
-from repro.harness.experiment import Experiment, ExperimentResult, run_experiment, run_policy_comparison
+from repro.harness.experiment import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSummary,
+    run_experiment,
+    run_policy_comparison,
+)
 from repro.harness.server import ServerConfig
 from repro.sim import units
 
@@ -84,4 +90,4 @@ class TestPolicyComparison:
     def test_runs_each_policy(self):
         results = run_policy_comparison(small_experiment(), [ddio(), idio()])
         assert set(results) == {"ddio", "idio"}
-        assert all(isinstance(r, ExperimentResult) for r in results.values())
+        assert all(isinstance(r, ExperimentSummary) for r in results.values())

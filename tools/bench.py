@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Benchmark harness for the simulator's hot path and the parallel runner.
+
+Measures a fixed workload matrix:
+
+* ``burst_reference`` — one 100 Gbps burst experiment at paper scale
+  (ring 1024, TouchDrop), the single-experiment speed reference;
+* ``fig10_quick_jobs1`` / ``fig10_quick_jobsN`` — the fig10 quick sweep
+  run serially and through the process-pool runner, which measures the
+  sweep-level scaling the runner provides on this host.
+
+Results (wall seconds, simulated events/sec, peak RSS) are written to
+``BENCH_<date>.json`` next to the repository root.  ``--check`` reruns
+the matrix and fails if any workload's wall time regressed more than
+``--threshold`` (default 25%) against the most recent committed
+``BENCH_*.json`` — wired up as ``make bench-check``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py            # measure + write json
+    PYTHONPATH=src python tools/bench.py --check    # regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import glob
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness import figures  # noqa: E402
+from repro.harness.experiment import Experiment  # noqa: E402
+from repro.harness.runner import run_experiment_summary  # noqa: E402
+
+
+def _bench_burst_reference() -> dict:
+    exp = Experiment(name="bench", burst_rate_gbps=100.0)
+    start = time.perf_counter()
+    summary = run_experiment_summary(exp)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "events": summary.events_fired,
+        "events_per_second": summary.events_fired / wall if wall > 0 else 0.0,
+        "completed_packets": summary.completed,
+    }
+
+
+def _bench_fig10_quick(jobs: int) -> dict:
+    start = time.perf_counter()
+    report = figures.fig10(
+        ring_size=256, include_static=False, corun_rates=(25.0,), jobs=jobs
+    )
+    wall = time.perf_counter() - start
+    events = sum(s.events_fired for s in report.results.values())
+    return {
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_second": events / wall if wall > 0 else 0.0,
+        "experiments": len(report.results),
+        "jobs": jobs,
+    }
+
+
+WORKLOADS = {
+    "burst_reference": _bench_burst_reference,
+    "fig10_quick_jobs1": lambda: _bench_fig10_quick(1),
+    "fig10_quick_jobs4": lambda: _bench_fig10_quick(4),
+}
+
+
+def run_matrix() -> dict:
+    results = {}
+    for name, fn in WORKLOADS.items():
+        print(f"  {name} ...", end="", flush=True)
+        results[name] = fn()
+        print(f" {results[name]['wall_seconds']:.2f}s")
+    return {
+        "date": _dt.date.today().isoformat(),
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "results": results,
+    }
+
+
+def latest_committed() -> Path | None:
+    files = sorted(glob.glob(str(REPO_ROOT / "BENCH_*.json")))
+    return Path(files[-1]) if files else None
+
+
+def check(current: dict, threshold_pct: float) -> int:
+    baseline_path = latest_committed()
+    if baseline_path is None:
+        print("no committed BENCH_*.json to compare against; nothing to check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    print(f"comparing against {baseline_path.name} ({baseline.get('date')})")
+    failures = 0
+    for name, cur in current["results"].items():
+        base = baseline.get("results", {}).get(name)
+        if base is None:
+            print(f"  {name}: no baseline entry, skipped")
+            continue
+        base_wall, cur_wall = base["wall_seconds"], cur["wall_seconds"]
+        delta_pct = (cur_wall - base_wall) / base_wall * 100.0
+        status = "ok"
+        if delta_pct > threshold_pct:
+            status = f"REGRESSION (> {threshold_pct:g}%)"
+            failures += 1
+        print(
+            f"  {name}: {base_wall:.2f}s -> {cur_wall:.2f}s "
+            f"({delta_pct:+.1f}%) {status}"
+        )
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if wall time regresses vs the last committed BENCH_*.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="allowed wall-time regression percentage for --check (default 25)",
+    )
+    parser.add_argument(
+        "--out",
+        help="output path (default BENCH_<date>.json in the repo root; "
+        "'-' skips writing)",
+    )
+    args = parser.parse_args(argv)
+
+    print("running benchmark matrix:")
+    current = run_matrix()
+
+    if args.check:
+        return check(current, args.threshold)
+
+    out = args.out
+    if out != "-":
+        path = Path(out) if out else REPO_ROOT / f"BENCH_{current['date']}.json"
+        path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {path}")
+    print(json.dumps(current, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
