@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-benchmarks bench bench-check validate
+.PHONY: test test-benchmarks bench bench-check validate lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Requires ruff (pip install ruff); configuration lives in pyproject.toml.
+lint:
+	ruff check src tests tools benchmarks
 
 test-benchmarks:
 	$(PYTHON) -m pytest benchmarks -q

@@ -21,7 +21,7 @@ Quick start::
     print(ours.normalized_to(base))
 """
 
-from . import core, cpu, harness, mem, net, nic, pcie, sim
+from . import core, cpu, harness, mem, net, nic, obs, pcie, sim
 from .core import IDIOConfig, IDIOController, PolicyConfig, all_policies
 from .harness import (
     Experiment,
@@ -57,6 +57,7 @@ __all__ = [
     "mem",
     "net",
     "nic",
+    "obs",
     "pcie",
     "run_experiment",
     "run_experiments",

@@ -8,6 +8,7 @@ Installed as the ``idio-repro`` console script::
     idio-repro figure fig9               # reproduce one paper figure
     idio-repro figure fig10 --out fig10.txt
     idio-repro run --policy ddio --csv trace.csv   # export timelines
+    idio-repro trace --out idio-trace.json         # Chrome-trace export
 """
 
 from __future__ import annotations
@@ -115,13 +116,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_arg(val_p)
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="run the reference burst experiment with per-hop tracing and "
+        "export a Chrome-trace (Perfetto) JSON",
+    )
+    trace_p.add_argument(
+        "--out", default="idio-trace.json", help="output path (default: %(default)s)"
+    )
+    trace_p.add_argument("--policy", default="idio", help="placement policy name")
+    trace_p.add_argument(
+        "--rate", type=float, default=100.0, help="burst rate in Gbps"
+    )
+    trace_p.add_argument("--ring", type=int, default=1024, help="RX ring size")
+    trace_p.add_argument(
+        "--max-events",
+        type=_positive_int,
+        default=2_000_000,
+        metavar="N",
+        help="recorder event cap (default: %(default)s)",
+    )
+
     return parser
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
 
 
 def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help="worker processes for the experiment sweep (1 = serial)",
@@ -278,6 +313,44 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if card.all_passed else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the reference burst experiment with tracing; export Chrome JSON.
+
+    The workload mixes a class-0 app (TouchDrop: DDIO fills + MLC
+    steering) with a class-1 app (L2FwdPayloadDrop: selective direct-DRAM
+    placement), so under the ``idio`` policy all four mechanism
+    categories show up in one trace.
+    """
+    policy = policies.policy_by_name(args.policy)
+    server = ServerConfig(
+        policy=policy,
+        apps=["touchdrop", "l2fwd-payload-drop"],
+        num_nf_cores=2,
+        ring_size=args.ring,
+        trace_enabled=True,
+        trace_max_events=args.max_events,
+    )
+    experiment = Experiment(
+        name=f"trace-{args.policy}",
+        server=server,
+        traffic="bursty",
+        burst_rate_gbps=args.rate,
+    )
+    result = run_experiment(experiment)
+    assert result.server is not None
+    recorder = result.server.trace_recorder
+    assert recorder is not None
+    events = recorder.export(args.out)
+    print(recorder.summary_line())
+    breakdown = recorder.latency_breakdown_ns()
+    if breakdown:
+        parts = ", ".join(f"{k}={v:.1f}" for k, v in breakdown.items())
+        print(f"latency breakdown: {parts}")
+    print(f"wrote {events} trace events to {args.out}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -286,6 +359,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "figure": cmd_figure,
         "validate": cmd_validate,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs.events import MlcWritebackEvent
 from ..pcie.tlp import IdioTag
 from ..sim import PeriodicTask, Simulator
 from .config import IDIOConfig
@@ -87,7 +88,7 @@ class IDIOController:
             "llc": 0,
         }
 
-        hierarchy.mlc_wb_listeners.append(self._on_mlc_writeback)
+        hierarchy.bus.subscribe(MlcWritebackEvent, self._on_mlc_writeback)
         self._control_task = PeriodicTask(
             sim, self.config.control_interval, self._control_tick, "idio-control"
         )
@@ -130,9 +131,9 @@ class IDIOController:
     # control plane (Alg. 1 lines 13-24)
     # ------------------------------------------------------------------
 
-    def _on_mlc_writeback(self, core: int, now: int) -> None:
-        if core < len(self.mlc_wb):
-            self.mlc_wb[core] += 1
+    def _on_mlc_writeback(self, event: MlcWritebackEvent) -> None:
+        if event.core < len(self.mlc_wb):
+            self.mlc_wb[event.core] += 1
 
     def _control_tick(self) -> None:
         threshold = self.config.mlc_threshold_per_interval
@@ -159,3 +160,4 @@ class IDIOController:
 
     def stop(self) -> None:
         self._control_task.stop()
+        self.hierarchy.bus.unsubscribe(MlcWritebackEvent, self._on_mlc_writeback)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import List
 
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs.events import LlcWritebackEvent
 from ..sim import PeriodicTask, Simulator, units
 
 
@@ -53,7 +54,7 @@ class IATController:
         self.shrink_threshold = shrink_threshold
         self._llc_wb_in_interval = 0
         self.resizes: List[int] = []
-        hierarchy.llc_wb_listeners.append(self._on_llc_writeback)
+        hierarchy.bus.subscribe(LlcWritebackEvent, self._on_llc_writeback)
         hierarchy.llc.set_ddio_ways(min_ways)
         self._task = PeriodicTask(sim, interval, self._tick, "iat-control")
 
@@ -61,7 +62,7 @@ class IATController:
     def current_ways(self) -> int:
         return self.hierarchy.llc.ddio_ways
 
-    def _on_llc_writeback(self, addr: int, now: int) -> None:
+    def _on_llc_writeback(self, event: LlcWritebackEvent) -> None:
         self._llc_wb_in_interval += 1
 
     def _tick(self) -> None:
@@ -77,3 +78,4 @@ class IATController:
 
     def stop(self) -> None:
         self._task.stop()
+        self.hierarchy.bus.unsubscribe(LlcWritebackEvent, self._on_llc_writeback)

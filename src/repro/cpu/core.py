@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..mem.hierarchy import AccessResult, MemoryHierarchy
+from ..mem.transaction import CPU_LOAD, CPU_STORE, MemoryTransaction
 from ..sim import Simulator, units
 
 
@@ -26,7 +27,9 @@ class CoreStats:
     compute_ticks: int = 0
     hits_by_level: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, result: AccessResult) -> None:
+    def record(self, result: "AccessResult") -> None:
+        """Record one completed access; accepts an :class:`AccessResult`
+        or anything else carrying ``latency``/``level`` (a transaction)."""
         self.mem_accesses += 1
         self.mem_ticks += result.latency
         self.hits_by_level[result.level] = self.hits_by_level.get(result.level, 0) + 1
@@ -60,15 +63,17 @@ class Core:
 
     def mem_read(self, addr: int) -> int:
         """Issue a demand load; returns its latency in ticks."""
-        result = self.hierarchy.cpu_access(self.core_id, addr, False, self.sim.now)
-        self.stats.record(result)
-        return result.latency
+        txn = MemoryTransaction(CPU_LOAD, addr, self.sim.now, core=self.core_id)
+        self.hierarchy.access(txn)
+        self.stats.record(txn)
+        return txn.latency
 
     def mem_write(self, addr: int) -> int:
         """Issue a demand store; returns its latency in ticks."""
-        result = self.hierarchy.cpu_access(self.core_id, addr, True, self.sim.now)
-        self.stats.record(result)
-        return result.latency
+        txn = MemoryTransaction(CPU_STORE, addr, self.sim.now, core=self.core_id)
+        self.hierarchy.access(txn)
+        self.stats.record(txn)
+        return txn.latency
 
     def compute(self, num_cycles: float) -> int:
         """Charge ``num_cycles`` of non-memory work; returns ticks."""

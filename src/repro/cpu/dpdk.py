@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 from ..mem.line import LINE_SIZE
 from ..nic.descriptor import DESCRIPTOR_BYTES, RxDescriptor
 from ..nic.nic import NIC, NicQueue
+from ..obs.events import PmdBatchEvent
 from ..sim import Simulator
 from ..sim import units
 from .apps import LLCAntagonist, NetworkFunction
@@ -120,6 +121,9 @@ class PollModeDriver:
         self.completed_packets: List = []
         self.batches = 0
         self._stopped = False
+        # Live subscriber list for batch-pickup events (trace recorders);
+        # the event object is only built when somebody listens.
+        self._batch_subs = core.hierarchy.bus.live(PmdBatchEvent)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -170,6 +174,11 @@ class PollModeDriver:
             return
 
         self.batches += 1
+        subs = self._batch_subs
+        if subs:
+            event = PmdBatchEvent(self.core.core_id, len(batch), self.sim.now)
+            for fn in subs:
+                fn(event)
         self.sim.schedule_after(
             max(latency, 1), lambda: self._process(batch, 0), "pmd-batch"
         )

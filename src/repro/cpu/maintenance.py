@@ -16,6 +16,7 @@ from typing import Optional
 
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.line import lines_spanning
+from ..mem.transaction import INVALIDATE, MemoryTransaction
 from ..sim import units
 from .pagetable import PageTable
 
@@ -48,10 +49,15 @@ class MaintenanceUnit:
         page table is attached and any page lacks the Invalidatable bit.
         """
         cost = 0
+        access = self.hierarchy.access
         for addr in lines_spanning(base, num_bytes):
             if self.page_table is not None:
                 self.page_table.check_invalidate(addr)
-            self.hierarchy.invalidate(self.core, addr, now, scope=self.scope)
+            access(
+                MemoryTransaction(
+                    INVALIDATE, addr, now, core=self.core, scope=self.scope
+                )
+            )
             self.invalidated_lines += 1
             cost += self.INVALIDATE_LINE_COST
         return cost

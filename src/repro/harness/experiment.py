@@ -55,6 +55,24 @@ class Experiment:
         return replace(self, server=replace(self.server, policy=policy))
 
 
+def _normalized_exe_time(
+    value: Optional[int], baseline: Optional[int]
+) -> Optional[float]:
+    """``value / baseline`` with explicit degenerate-baseline semantics.
+
+    A zero baseline (a baseline run that processed its burst in literally
+    zero ticks — possible for empty/degenerate workloads) must not raise
+    out of a figure sweep: the ratio is ``inf`` when the comparison run
+    took any time at all and ``0.0`` when both took none.  ``None`` on
+    either side means the metric is unavailable and is skipped.
+    """
+    if value is None or baseline is None:
+        return None
+    if baseline == 0:
+        return float("inf") if value > 0 else 0.0
+    return value / baseline
+
+
 @dataclass
 class ExperimentSummary:
     """The slim, picklable slice of a run the figure harness consumes.
@@ -154,13 +172,11 @@ class ExperimentSummary:
     def normalized_to(self, baseline: "ExperimentSummary") -> Dict[str, float]:
         """Fig. 10-style normalization against a baseline run."""
         values = self.window.normalized_to(baseline.window)
-        if (
-            self.burst_processing_time is not None
-            and baseline.burst_processing_time
-        ):
-            values["exe_time"] = (
-                self.burst_processing_time / baseline.burst_processing_time
-            )
+        exe_time = _normalized_exe_time(
+            self.burst_processing_time, baseline.burst_processing_time
+        )
+        if exe_time is not None:
+            values["exe_time"] = exe_time
         return values
 
     def fingerprint(self) -> Tuple:
@@ -248,13 +264,18 @@ class ExperimentResult:
 
         Queueing delay covers NIC pipeline + descriptor writeback + ring
         wait + batching; service time is the pure processing component.
+        When the server ran with tracing enabled, the recorder's real
+        per-component split (``mean_l1_ns``/``mean_mlc_ns``/...) is folded
+        in on top.
         """
+        from ..obs.trace import merge_latency_breakdowns
         from ..sim import units as _units
 
-        packets = self._require_server().completed_packets()
+        server = self._require_server()
+        packets = server.completed_packets()
         queueing = [p.queueing_delay for p in packets if p.queueing_delay is not None]
         service = [p.service_time for p in packets if p.service_time is not None]
-        return {
+        breakdown = {
             "mean_queueing_ns": (
                 _units.to_nanoseconds(sum(queueing)) / len(queueing) if queueing else 0.0
             ),
@@ -262,6 +283,7 @@ class ExperimentResult:
                 _units.to_nanoseconds(sum(service)) / len(service) if service else 0.0
             ),
         }
+        return merge_latency_breakdowns(breakdown, server.trace_recorder)
 
     def timeline(self, stream: str, bin_us: float = 10.0) -> List[Tuple[float, float]]:
         """(time_us, MTPS) series for a stat stream over the run window."""
@@ -276,13 +298,11 @@ class ExperimentResult:
     def normalized_to(self, baseline: "ExperimentResult") -> Dict[str, float]:
         """Fig. 10-style normalization against a baseline run."""
         values = self.window.normalized_to(baseline.window)
-        if (
-            self.burst_processing_time is not None
-            and baseline.burst_processing_time
-        ):
-            values["exe_time"] = (
-                self.burst_processing_time / baseline.burst_processing_time
-            )
+        exe_time = _normalized_exe_time(
+            self.burst_processing_time, baseline.burst_processing_time
+        )
+        if exe_time is not None:
+            values["exe_time"] = exe_time
         return values
 
     def summary(self, streams: Sequence[str] = SUMMARY_STREAMS) -> ExperimentSummary:

@@ -52,6 +52,7 @@ from ..nic.classifier import ClassifierConfig
 from ..nic.descriptor import DESCRIPTOR_BYTES
 from ..nic.dma import DMAEngine
 from ..nic.nic import NIC, NicConfig
+from ..obs.trace import TraceRecorder
 from ..pcie.root_complex import RootComplex
 from ..sim import Simulator, units
 
@@ -109,6 +110,12 @@ class ServerConfig:
     freq_ghz: float = 3.0
     #: Reset statistics after warmup so Fig.-style windows start clean.
     reset_stats_after_warmup: bool = True
+    #: Attach a :class:`~repro.obs.trace.TraceRecorder` to the hierarchy's
+    #: event bus (enables per-hop recording — off by default; tracing
+    #: costs both time and memory, so it is strictly opt-in).
+    trace_enabled: bool = False
+    #: Event cap for the recorder when tracing is enabled.
+    trace_max_events: int = 2_000_000
 
     def app_for_core(self, core: int) -> str:
         if self.apps is None:
@@ -183,6 +190,13 @@ class SimulatedServer:
             mshrs=32,
         )
         self.hierarchy = MemoryHierarchy(hier_config, self.stats)
+
+        #: Optional per-hop transaction recorder (``trace_enabled``).
+        self.trace_recorder: Optional[TraceRecorder] = None
+        if config.trace_enabled:
+            self.trace_recorder = TraceRecorder(
+                max_events=config.trace_max_events
+            ).attach(self.hierarchy)
 
         if config.nf_cat_ways is not None:
             # Restrict NF-core fills to the first nf_cat_ways non-DDIO ways.

@@ -1,34 +1,54 @@
 """The non-inclusive memory hierarchy: data paths of Fig. 1 and Fig. 2.
 
 This module wires per-core private caches (optional L1D + MLC), the shared
-non-inclusive LLC with DDIO ways, and DRAM into one object exposing the
-five operations the rest of the system uses:
+non-inclusive LLC with DDIO ways, and DRAM into one object exposing a
+single typed entry point:
 
-* :meth:`MemoryHierarchy.cpu_access` — demand load/store from a core;
-* :meth:`MemoryHierarchy.pcie_write` — inbound DMA (DDIO ingress, Fig. 1);
-* :meth:`MemoryHierarchy.pcie_read` — outbound DMA (egress, Fig. 1);
-* :meth:`MemoryHierarchy.prefetch_fill` — MLC prefetch issued on IDIO hints;
-* :meth:`MemoryHierarchy.invalidate` — the paper's new invalidate-without-
-  writeback cache maintenance operation (§IV-A / §V-D).
+* :meth:`MemoryHierarchy.access` — execute one
+  :class:`~repro.mem.transaction.MemoryTransaction` (demand load/store,
+  inbound DMA write, outbound DMA read, IDIO MLC prefetch fill, or the
+  paper's invalidate-without-writeback maintenance operation, §IV-A/§V-D)
+  and fill in its outcome: total latency, serving level, and — when hop
+  recording is enabled — a per-component hop list.
 
-Every state transition bumps the shared :class:`~repro.mem.stats.StatsBundle`
-so experiments can reconstruct the paper's writeback timelines, and dirty
-MLC→LLC writebacks additionally notify registered listeners — that is the
-signal the IDIO controller's control plane samples (``mlcWB`` in Alg. 1).
+The legacy convenience methods (:meth:`cpu_access`, :meth:`pcie_write`,
+:meth:`pcie_read`, :meth:`prefetch_fill`, :meth:`invalidate`) remain as
+thin constructors that build a transaction and run it through
+:meth:`access`; all traffic flows through the same path.
+
+Observability is a typed pub/sub bus (:class:`repro.obs.bus.EventBus`):
+the hierarchy publishes :class:`~repro.obs.events.MlcWritebackEvent` /
+:class:`~repro.obs.events.LlcWritebackEvent` (the signals the IDIO
+controller's control plane and the IAT baseline sample — ``mlcWB`` in
+Alg. 1) and, when anyone listens, every completed transaction.  The
+:class:`~repro.mem.stats.StatsBundle` counts writebacks as a bus
+subscriber like everyone else.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
+from ..obs.bus import EventBus
+from ..obs.events import LlcWritebackEvent, MlcWritebackEvent
 from ..sim import units
 from .cache import CacheConfig
 from .dram import DRAM
 from .line import CacheLine, line_address
 from .llc import NonInclusiveLLC
 from .mlc import PrivateCache
-from .stats import StatsBundle
+from .stats import HierarchyStatsSubscriber, StatsBundle
+from .transaction import (
+    CPU_LOAD,
+    CPU_STORE,
+    DMA_READ,
+    DMA_WRITE,
+    INVALIDATE,
+    PREFETCH_FILL,
+    Hop,
+    MemoryTransaction,
+)
 
 
 def default_l1_config(freq_ghz: float = 3.0) -> CacheConfig:
@@ -99,15 +119,39 @@ class AccessResult:
     """Outcome of one demand access: latency plus the serving level."""
 
     latency: int
-    level: str  # "l1" | "mlc" | "llc" | "dram"
+    level: str  # "l1" | "mlc" | "llc" | "c2c" | "dram"
 
 
 class MemoryHierarchy:
     """Cacheline-granular model of the non-inclusive hierarchy."""
 
-    def __init__(self, config: HierarchyConfig, stats: Optional[StatsBundle] = None) -> None:
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        stats: Optional[StatsBundle] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
         self.config = config
         self.stats = stats or StatsBundle()
+        #: The observability bus.  The stats bundle subscribes first so
+        #: counters are current when later subscribers (controllers,
+        #: recorders) observe the same event.
+        self.bus = bus or EventBus()
+        self._stats_subscriber = HierarchyStatsSubscriber(
+            self.stats, config.num_cores
+        )
+        self._stats_subscriber.install(self.bus)
+        # Hot-path caches of the live subscriber lists: publishing is a
+        # truthiness check plus a loop, and the event object is only
+        # constructed when somebody listens.
+        self._mlc_wb_subs = self.bus.live(MlcWritebackEvent)
+        self._llc_wb_subs = self.bus.live(LlcWritebackEvent)
+        self._txn_subs = self.bus.live(MemoryTransaction)
+        #: When True, :meth:`access` fills each transaction's ``hops``
+        #: list.  Off by default — flipped by an attached TraceRecorder.
+        self.record_hops = False
+        self._active_hops: Optional[List[Hop]] = None
+
         self.l1: List[Optional[PrivateCache]] = []
         self.mlc: List[PrivateCache] = []
         for core in range(config.num_cores):
@@ -137,33 +181,80 @@ class MemoryHierarchy:
             )
         else:
             raise ValueError(f"unknown dram_model {config.dram_model!r}")
-        #: Called with (core, now) on every dirty MLC->LLC writeback.
-        self.mlc_wb_listeners: List[Callable[[int, int], None]] = []
-        #: Called with (addr, now) on every line evicted from LLC to DRAM.
-        self.llc_wb_listeners: List[Callable[[int, int], None]] = []
         # Per-core counter names, pre-formatted once (these are bumped on
-        # every writeback/invalidation; f-strings there are measurable).
-        self._mlc_wb_names = [
-            f"mlc_writebacks_c{core}" for core in range(config.num_cores)
-        ]
+        # every invalidation; f-strings there are measurable).
         self._mlc_inval_names = [
             f"mlc_invalidations_c{core}" for core in range(config.num_cores)
         ]
+        self._handlers = {
+            CPU_LOAD: self._run_cpu,
+            CPU_STORE: self._run_cpu,
+            DMA_WRITE: self._run_dma_write,
+            DMA_READ: self._run_dma_read,
+            PREFETCH_FILL: self._run_prefetch_fill,
+            INVALIDATE: self._run_invalidate,
+        }
+
+    # ------------------------------------------------------------------
+    # the unified entry point
+    # ------------------------------------------------------------------
+
+    def access(self, txn: MemoryTransaction) -> MemoryTransaction:
+        """Execute one transaction; fills ``latency``/``level``/``hops``.
+
+        This is the single entry point every byte of traffic goes
+        through — the legacy per-kind methods below are constructors
+        delegating here.  Completed transactions are published on the
+        bus when a subscriber (e.g. a TraceRecorder) is attached.
+        """
+        try:
+            handler = self._handlers[txn.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown transaction kind {txn.kind!r}; "
+                f"expected one of {sorted(self._handlers)}"
+            ) from None
+        if self.record_hops:
+            self._active_hops = txn.hops
+            try:
+                handler(txn)
+            finally:
+                self._active_hops = None
+        else:
+            handler(txn)
+        subs = self._txn_subs
+        if subs:
+            for fn in subs:
+                fn(txn)
+        return txn
+
+    # Hop recording is inlined at each site as
+    #   ``if hops is not None: hops.append(Hop(...))``
+    # with ``hops = self._active_hops`` loaded once per handler — a local
+    # None-check instead of a method call keeps the tracing-off hot path
+    # within the bench gate.
+
+    # ------------------------------------------------------------------
+    # bus publications
+    # ------------------------------------------------------------------
+
+    def _notify_mlc_wb(self, core: int, now: int) -> None:
+        subs = self._mlc_wb_subs
+        if subs:
+            event = MlcWritebackEvent(core, now)
+            for fn in subs:
+                fn(event)
+
+    def _notify_llc_wb(self, addr: int, now: int) -> None:
+        subs = self._llc_wb_subs
+        if subs:
+            event = LlcWritebackEvent(addr, now)
+            for fn in subs:
+                fn(event)
 
     # ------------------------------------------------------------------
     # internal helpers
     # ------------------------------------------------------------------
-
-    def _notify_mlc_wb(self, core: int, now: int) -> None:
-        self.stats.bump("mlc_writebacks", now)
-        self.stats.bump(self._mlc_wb_names[core], now, log=False)
-        for listener in self.mlc_wb_listeners:
-            listener(core, now)
-
-    def _notify_llc_wb(self, addr: int, now: int) -> None:
-        self.stats.bump("llc_writebacks", now)
-        for listener in self.llc_wb_listeners:
-            listener(addr, now)
 
     def _drop_private(self, core: int, addr: int) -> Optional[CacheLine]:
         """Remove ``addr`` from core's L1+MLC; returns the line (dirtiest view)."""
@@ -191,13 +282,23 @@ class MemoryHierarchy:
                     victim.dirty = True
             self.llc.directory.remove(victim.addr)
         if victim.dirty:
+            hops = self._active_hops
+            if hops is not None:
+                hops.append(Hop("llc", "evict", 0))
+                hops.append(Hop("dram", "writeback", 0))
             self.dram.write(victim.addr, now)
             self._notify_llc_wb(victim.addr, now)
         else:
+            hops = self._active_hops
+            if hops is not None:
+                hops.append(Hop("llc", "drop", 0))
             self.stats.bump("llc_clean_drops", now, log=False)
 
     def _fill_mlc(self, core: int, line: CacheLine, now: int) -> None:
         """Fill ``line`` into core's MLC, handling the non-inclusive victim path."""
+        hops = self._active_hops
+        if hops is not None:
+            hops.append(Hop("mlc", "fill", 0))
         victim = self.mlc[core].fill(line, now)
         if victim is None:
             return
@@ -224,6 +325,9 @@ class MemoryHierarchy:
         # including non-DDIO ways -> DMA bloating (§III Obs. 3).  This
         # MLC->LLC transaction is what the paper's "MLC writeback" counters
         # measure.
+        if hops is not None:
+            hops.append(Hop("mlc", "evict", 0))
+            hops.append(Hop("llc", "writeback", 0))
         self._notify_mlc_wb(core, now)
         if victim.dirty:
             self.stats.counters.add("mlc_writebacks_dirty")
@@ -245,8 +349,25 @@ class MemoryHierarchy:
                 mlc_line.dirty = True
             else:
                 # MLC copy already gone; push straight to LLC.
+                hops = self._active_hops
+                if hops is not None:
+                    hops.append(Hop("llc", "writeback", 0))
                 self._notify_mlc_wb(core, now)
                 llc_victim = self.llc.fill_cpu(victim, now, core=core)
+                if llc_victim is not None:
+                    self._llc_victim_to_dram(llc_victim, now)
+
+    def _directory_back_invalidate(self, entry, now: int) -> None:
+        """A directory eviction forces the MLC copies out (non-inclusive)."""
+        for core in entry.owners:
+            line = self._drop_private(core, entry.addr)
+            self.stats.bump("directory_back_invalidations", now, log=False)
+            if line is not None and line.dirty:
+                hops = self._active_hops
+                if hops is not None:
+                    hops.append(Hop("llc", "writeback", 0))
+                self._notify_mlc_wb(core, now)
+                llc_victim = self.llc.fill_cpu(line, now, core=core)
                 if llc_victim is not None:
                     self._llc_victim_to_dram(llc_victim, now)
 
@@ -254,9 +375,13 @@ class MemoryHierarchy:
     # demand path (Fig. 2)
     # ------------------------------------------------------------------
 
-    def cpu_access(self, core: int, addr: int, is_write: bool, now: int) -> AccessResult:
-        """A demand load/store from ``core``; returns latency and hit level."""
-        addr = line_address(addr)
+    def _run_cpu(self, txn: MemoryTransaction) -> None:
+        """A demand load/store from ``txn.core``."""
+        core = txn.core
+        addr = txn.addr
+        now = txn.now
+        is_write = txn.kind == CPU_STORE
+        hops = self._active_hops
         latency = 0
         l1 = self.l1[core]
         if l1 is not None:
@@ -269,7 +394,13 @@ class MemoryHierarchy:
                     if mlc_copy is not None:
                         mlc_copy.dirty = True
                 self.stats.counters.add("l1_hits")
-                return AccessResult(latency, "l1")
+                if hops is not None:
+                    hops.append(Hop("l1", "hit", latency))
+                txn.latency = latency
+                txn.level = "l1"
+                return
+            if hops is not None:
+                hops.append(Hop("l1", "miss", latency))
 
         mlc = self.mlc[core]
         latency += mlc.config.latency
@@ -277,9 +408,15 @@ class MemoryHierarchy:
         if hit is not None:
             if is_write:
                 hit.dirty = True
+            if hops is not None:
+                hops.append(Hop("mlc", "hit", mlc.config.latency))
             self._fill_l1(core, addr, False, now)
             self.stats.counters.add("mlc_hits")
-            return AccessResult(latency, "mlc")
+            txn.latency = latency
+            txn.level = "mlc"
+            return
+        if hops is not None:
+            hops.append(Hop("mlc", "miss", mlc.config.latency))
 
         # Another core's private caches may own the line: the directory
         # filters the snoop and the data migrates cache-to-cache (our
@@ -296,6 +433,8 @@ class MemoryHierarchy:
             if migrated is not None:
                 self.stats.bump("c2c_transfers", now, log=False)
                 latency += self.llc.config.latency  # snoop round trip
+                if hops is not None:
+                    hops.append(Hop("directory", "c2c", self.llc.config.latency))
                 migrated.owner = core
                 if is_write:
                     migrated.dirty = True
@@ -303,13 +442,18 @@ class MemoryHierarchy:
                 for evicted_entry in self.llc.directory.add(addr, core):
                     self._directory_back_invalidate(evicted_entry, now)
                 self._fill_l1(core, addr, False, now)
-                return AccessResult(latency, "c2c")
+                txn.latency = latency
+                txn.level = "c2c"
+                return
 
-        latency += self.llc.access_latency(core, addr)
+        llc_latency = self.llc.access_latency(core, addr)
+        latency += llc_latency
         llc_line = self.llc.lookup(addr)
         if llc_line is not None:
             level = "llc"
             self.stats.counters.add("llc_hits")
+            if hops is not None:
+                hops.append(Hop("llc", "hit", llc_latency))
             if self.llc.inclusive:
                 new_line = CacheLine(addr, dirty=False, origin=llc_line.origin, owner=core)
             else:
@@ -321,7 +465,11 @@ class MemoryHierarchy:
                 )
         else:
             level = "dram"
-            latency += self.dram.read(addr, now)
+            dram_latency = self.dram.read(addr, now)
+            latency += dram_latency
+            if hops is not None:
+                hops.append(Hop("llc", "miss", llc_latency))
+                hops.append(Hop("dram", "read", dram_latency))
             self.stats.counters.add("llc_misses")
             new_line = CacheLine(addr, dirty=False, origin="cpu", owner=core)
             if self.llc.inclusive:
@@ -337,31 +485,23 @@ class MemoryHierarchy:
         for evicted_entry in self.llc.directory.add(addr, core):
             self._directory_back_invalidate(evicted_entry, now)
         self._fill_l1(core, addr, False, now)
-        return AccessResult(latency, level)
-
-    def _directory_back_invalidate(self, entry, now: int) -> None:
-        """A directory eviction forces the MLC copies out (non-inclusive)."""
-        for core in entry.owners:
-            line = self._drop_private(core, entry.addr)
-            self.stats.bump("directory_back_invalidations", now, log=False)
-            if line is not None and line.dirty:
-                self._notify_mlc_wb(core, now)
-                llc_victim = self.llc.fill_cpu(line, now, core=core)
-                if llc_victim is not None:
-                    self._llc_victim_to_dram(llc_victim, now)
+        txn.latency = latency
+        txn.level = level
 
     # ------------------------------------------------------------------
     # PCIe ingress (Fig. 1, DDIO write path)
     # ------------------------------------------------------------------
 
-    def pcie_write(self, addr: int, now: int, placement: str = "llc") -> int:
+    def _run_dma_write(self, txn: MemoryTransaction) -> None:
         """A full-cacheline inbound DMA write.
 
-        ``placement`` is ``"llc"`` for the normal DDIO path or ``"dram"``
-        for IDIO's selective direct DRAM access (M3).  Returns the modeled
-        transaction latency.
+        ``txn.placement`` is ``"llc"`` for the normal DDIO path or
+        ``"dram"`` for IDIO's selective direct DRAM access (M3).
         """
-        addr = line_address(addr)
+        addr = txn.addr
+        now = txn.now
+        placement = txn.placement
+        hops = self._active_hops
         self.stats.bump("pcie_writes", now)
         latency = self.llc.config.latency
 
@@ -369,6 +509,8 @@ class MemoryHierarchy:
         owners = self.llc.directory.owners(addr)
         for core in owners:
             self._drop_private(core, addr)
+            if hops is not None:
+                hops.append(Hop("mlc", "inval", 0))
             self.stats.bump("mlc_invalidations", now)
             self.stats.bump(self._mlc_inval_names[core], now, log=False)
         if owners:
@@ -379,10 +521,16 @@ class MemoryHierarchy:
             # write the line straight to memory.
             stale = self.llc.remove(addr)
             if stale is not None:
+                if hops is not None:
+                    hops.append(Hop("llc", "drop", 0))
                 self.stats.bump("llc_drop_on_direct_dram", now, log=False)
             latency = self.dram.write(addr, now)
+            if hops is not None:
+                hops.append(Hop("dram", "write", latency))
             self.stats.bump("direct_dram_writes", now)
-            return latency
+            txn.latency = latency
+            txn.level = "dram"
+            return
         if placement != "llc":
             raise ValueError(f"unknown placement {placement!r}")
 
@@ -392,22 +540,29 @@ class MemoryHierarchy:
             # it occupies and becomes dirty I/O data.
             resident.dirty = True
             resident.origin = "io"
+            if hops is not None:
+                hops.append(Hop("llc", "update", latency))
             self.stats.bump("ddio_updates", now, log=False)
         else:
             # Write-allocate into the DDIO ways (P1-2 / P5-1).
+            if hops is not None:
+                hops.append(Hop("llc", "fill", latency))
             victim = self.llc.fill_io(CacheLine(addr, dirty=True, origin="io"), now)
             self.stats.bump("ddio_allocations", now, log=False)
             if victim is not None:
                 self._llc_victim_to_dram(victim, now)
-        return latency
+        txn.latency = latency
+        txn.level = "llc"
 
     # ------------------------------------------------------------------
     # PCIe egress (Fig. 1, read path)
     # ------------------------------------------------------------------
 
-    def pcie_read(self, addr: int, now: int) -> int:
-        """An outbound DMA read (NIC TX).  Returns the transaction latency."""
-        addr = line_address(addr)
+    def _run_dma_read(self, txn: MemoryTransaction) -> None:
+        """An outbound DMA read (NIC TX)."""
+        addr = txn.addr
+        now = txn.now
+        hops = self._active_hops
         self.stats.bump("pcie_reads", now, log=False)
         latency = self.llc.config.latency
 
@@ -418,7 +573,11 @@ class MemoryHierarchy:
             line = self._drop_private(core, addr)
             if line is None:
                 continue
+            if hops is not None:
+                hops.append(Hop("mlc", "evict", 0))
             if line.dirty:
+                if hops is not None:
+                    hops.append(Hop("llc", "writeback", 0))
                 self._notify_mlc_wb(core, now)
             line.owner = -1
             llc_victim = self.llc.fill_cpu(line, now, core=core)
@@ -429,28 +588,46 @@ class MemoryHierarchy:
 
         if addr in self.llc:
             self.llc.lookup(addr)
-            return latency
-        latency += self.dram.read(addr, now)
-        return latency
+            if hops is not None:
+                hops.append(Hop("llc", "hit", latency))
+            txn.latency = latency
+            txn.level = "llc"
+            return
+        dram_latency = self.dram.read(addr, now)
+        if hops is not None:
+            hops.append(Hop("llc", "miss", latency))
+            hops.append(Hop("dram", "read", dram_latency))
+        latency += dram_latency
+        txn.latency = latency
+        txn.level = "dram"
 
     # ------------------------------------------------------------------
     # IDIO mechanisms
     # ------------------------------------------------------------------
 
-    def prefetch_fill(self, core: int, addr: int, now: int) -> bool:
-        """Bring ``addr`` into ``core``'s MLC without stalling the core.
+    def _run_prefetch_fill(self, txn: MemoryTransaction) -> None:
+        """Bring ``txn.addr`` into ``txn.core``'s MLC without stalling it.
 
-        Used by the queued MLC prefetcher (§V-C).  Returns ``True`` when a
-        fill actually happened (miss in the private caches).
+        Used by the queued MLC prefetcher (§V-C).  Sets ``txn.level`` to
+        the level the line came from ("llc"/"dram"), or "dropped" when
+        the line is already private (no fill happened).
         """
-        addr = line_address(addr)
+        core = txn.core
+        addr = txn.addr
+        now = txn.now
         if addr in self.mlc[core]:
-            return False
+            txn.level = "dropped"
+            return
         l1 = self.l1[core]
         if l1 is not None and addr in l1:
-            return False
+            txn.level = "dropped"
+            return
+        hops = self._active_hops
         llc_line = self.llc.lookup(addr)
         if llc_line is not None:
+            txn.level = "llc"
+            if hops is not None:
+                hops.append(Hop("llc", "hit", self.llc.config.latency))
             if self.llc.inclusive:
                 new_line = CacheLine(addr, dirty=False, origin=llc_line.origin, owner=core)
             else:
@@ -459,33 +636,78 @@ class MemoryHierarchy:
                     addr, dirty=llc_line.dirty, origin=llc_line.origin, owner=core
                 )
         else:
-            self.dram.read(addr, now)
+            txn.level = "dram"
+            dram_latency = self.dram.read(addr, now)
+            if hops is not None:
+                hops.append(Hop("dram", "read", dram_latency))
             new_line = CacheLine(addr, dirty=False, origin="cpu", owner=core)
         self._fill_mlc(core, new_line, now)
         for evicted_entry in self.llc.directory.add(addr, core):
             self._directory_back_invalidate(evicted_entry, now)
         self.stats.bump("mlc_prefetch_fills", now)
-        return True
 
-    def invalidate(self, core: int, addr: int, now: int, scope: str = "all") -> None:
+    def _run_invalidate(self, txn: MemoryTransaction) -> None:
         """The new invalidate-without-writeback maintenance operation.
 
-        ``scope="private"`` drops only the core's L1/MLC copy (the literal
-        instruction semantics of §V-D); ``scope="all"`` additionally drops
-        any LLC copy, which is the behavior the L2Fwd evaluation relies on
-        ("invalidating consumed LLC-resident buffers", §VII).  Neither scope
-        ever writes data back — that is the entire point.
+        ``txn.scope="private"`` drops only the core's L1/MLC copy (the
+        literal instruction semantics of §V-D); ``"all"`` additionally
+        drops any LLC copy, which is the behavior the L2Fwd evaluation
+        relies on ("invalidating consumed LLC-resident buffers", §VII).
+        Neither scope ever writes data back — that is the entire point.
         """
-        addr = line_address(addr)
+        core = txn.core
+        addr = txn.addr
+        now = txn.now
+        scope = txn.scope
+        hops = self._active_hops
         dropped = self._drop_private(core, addr)
         if dropped is not None:
+            if hops is not None:
+                hops.append(Hop("mlc", "drop", 0))
             self.llc.directory.remove(addr, core)
             self.stats.bump("self_invalidations", now)
         if scope == "all":
             if self.llc.remove(addr) is not None:
+                if hops is not None:
+                    hops.append(Hop("llc", "drop", 0))
                 self.stats.bump("self_invalidations_llc", now)
         elif scope != "private":
             raise ValueError(f"unknown invalidate scope {scope!r}")
+        txn.level = "invalidated" if dropped is not None else "absent"
+
+    # ------------------------------------------------------------------
+    # legacy convenience entry points (thin wrappers over access())
+    # ------------------------------------------------------------------
+
+    def cpu_access(self, core: int, addr: int, is_write: bool, now: int) -> AccessResult:
+        """A demand load/store from ``core``; returns latency and hit level."""
+        txn = MemoryTransaction(
+            CPU_STORE if is_write else CPU_LOAD, addr, now, core=core
+        )
+        self.access(txn)
+        return AccessResult(txn.latency, txn.level or "dram")
+
+    def pcie_write(self, addr: int, now: int, placement: str = "llc") -> int:
+        """A full-cacheline inbound DMA write; returns the latency."""
+        txn = MemoryTransaction(DMA_WRITE, addr, now, placement=placement)
+        self.access(txn)
+        return txn.latency
+
+    def pcie_read(self, addr: int, now: int) -> int:
+        """An outbound DMA read (NIC TX); returns the transaction latency."""
+        txn = MemoryTransaction(DMA_READ, addr, now)
+        self.access(txn)
+        return txn.latency
+
+    def prefetch_fill(self, core: int, addr: int, now: int) -> bool:
+        """MLC prefetch; returns ``True`` when a fill actually happened."""
+        txn = MemoryTransaction(PREFETCH_FILL, addr, now, core=core)
+        self.access(txn)
+        return txn.level != "dropped"
+
+    def invalidate(self, core: int, addr: int, now: int, scope: str = "all") -> None:
+        """Invalidate-without-writeback of one line (see :meth:`access`)."""
+        self.access(MemoryTransaction(INVALIDATE, addr, now, core=core, scope=scope))
 
     # ------------------------------------------------------------------
     # introspection

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Tuple
 
+from ..obs.events import LlcWritebackEvent, MlcWritebackEvent
 from ..sim import units
 
 
@@ -190,3 +191,35 @@ class StatsBundle:
     def reset(self) -> None:
         self.counters.reset()
         self.events.reset()
+
+
+class HierarchyStatsSubscriber:
+    """Routes hierarchy writeback events into a :class:`StatsBundle`.
+
+    The hierarchy used to bump these counters inline before invoking its
+    callback lists; with the typed event bus the stats bundle is an
+    ordinary subscriber.  It must be installed *first* (the hierarchy
+    does this in its constructor) so that counters are already current
+    when downstream subscribers — the IDIO controller's control plane,
+    the IAT baseline, trace recorders — observe the same event.
+    """
+
+    __slots__ = ("stats", "_mlc_wb_names")
+
+    def __init__(self, stats: StatsBundle, num_cores: int) -> None:
+        self.stats = stats
+        # Per-core counter names pre-formatted once; these are on the
+        # writeback hot path.
+        self._mlc_wb_names = [f"mlc_writebacks_c{core}" for core in range(num_cores)]
+
+    def install(self, bus) -> "HierarchyStatsSubscriber":
+        bus.subscribe(MlcWritebackEvent, self.on_mlc_writeback)
+        bus.subscribe(LlcWritebackEvent, self.on_llc_writeback)
+        return self
+
+    def on_mlc_writeback(self, event: MlcWritebackEvent) -> None:
+        self.stats.bump("mlc_writebacks", event.now)
+        self.stats.bump(self._mlc_wb_names[event.core], event.now, log=False)
+
+    def on_llc_writeback(self, event: LlcWritebackEvent) -> None:
+        self.stats.bump("llc_writebacks", event.now)

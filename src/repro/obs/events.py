@@ -1,0 +1,40 @@
+"""Typed events published on the observability bus.
+
+Transaction completions are published as the
+:class:`~repro.mem.transaction.MemoryTransaction` object itself (its
+class is the topic); the events here cover everything else the memory
+path and the software stack announce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MlcWritebackEvent:
+    """A dirty-or-clean MLC victim moved to the LLC (``mlcWB`` in Alg. 1).
+
+    This is the signal the IDIO controller's control plane samples every
+    interval, and the per-core pressure statistic of Figs. 5/9/11.
+    """
+
+    core: int
+    now: int
+
+
+@dataclass(frozen=True, slots=True)
+class LlcWritebackEvent:
+    """A dirty LLC victim written back to DRAM (the DMA-leak signal)."""
+
+    addr: int
+    now: int
+
+
+@dataclass(frozen=True, slots=True)
+class PmdBatchEvent:
+    """A poll-mode driver picked up a batch of RX descriptors."""
+
+    core: int
+    size: int
+    now: int

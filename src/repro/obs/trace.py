@@ -1,0 +1,246 @@
+"""Per-hop transaction tracing with Chrome-trace (Perfetto) export.
+
+A :class:`TraceRecorder` subscribes to the hierarchy's event bus and
+records every completed :class:`~repro.mem.transaction.MemoryTransaction`
+together with its hop records, plus the writeback and PMD-batch events.
+The recording serves two consumers:
+
+* ``to_chrome_trace()`` / ``export()`` produce a Chrome-trace JSON
+  (``chrome://tracing`` / Perfetto ``ui.perfetto.dev`` both load it)
+  where DDIO-way fills, MLC steering fills, direct-DRAM writes and
+  invalidate drops are distinguishable by category;
+* ``latency_breakdown_ns()`` produces the per-component latency split
+  (L1/MLC/LLC/DRAM share of the mean access) that the harness surfaces —
+  a real component breakdown, not just queueing-vs-service.
+
+Tracing is strictly opt-in: attaching a recorder flips the hierarchy's
+``record_hops`` switch, which is what makes the hop lists non-empty.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..mem.transaction import (
+    DMA_WRITE,
+    INVALIDATE,
+    PREFETCH_FILL,
+    Hop,
+    MemoryTransaction,
+)
+from ..sim import units
+from .events import LlcWritebackEvent, MlcWritebackEvent, PmdBatchEvent
+
+#: Stable Chrome-trace thread ids, one lane per component.
+_COMPONENT_TIDS = {"l1": 1, "mlc": 2, "llc": 3, "dram": 4, "directory": 5}
+_EVENT_TID = 6  # writebacks / PMD batches
+
+
+def categorize(txn: MemoryTransaction, hop: Hop) -> str:
+    """The trace category of one hop — the four §IV/§V mechanisms get
+    their own categories so they are distinguishable in the viewer."""
+    if txn.kind == DMA_WRITE:
+        if hop.component == "llc" and hop.action == "fill":
+            return "ddio-fill"
+        if hop.component == "llc" and hop.action == "update":
+            return "ddio-update"
+        if hop.component == "dram" and hop.action == "write":
+            return "direct-dram-write"
+    elif txn.kind == PREFETCH_FILL:
+        if hop.component == "mlc" and hop.action == "fill":
+            return "mlc-steer-fill"
+    elif txn.kind == INVALIDATE:
+        if hop.action == "drop":
+            return "invalidate-drop"
+    return txn.kind
+
+
+class TraceRecorder:
+    """Records transactions from a hierarchy's bus; exports Chrome traces.
+
+    ``max_events`` bounds memory for long runs; once reached, further
+    trace events are counted in ``dropped_events`` instead of stored
+    (the per-component latency accumulators keep counting regardless).
+    """
+
+    def __init__(self, max_events: int = 2_000_000) -> None:
+        self.max_events = max_events
+        self.trace_events: List[Dict[str, Any]] = []
+        self.dropped_events = 0
+        self.transactions = 0
+        #: Per-category hop counts ("ddio-fill", "mlc-steer-fill", ...).
+        self.category_counts: Dict[str, int] = {}
+        self._component_ticks: Dict[str, int] = {}
+        self._hierarchy = None
+        self._bus = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, hierarchy) -> "TraceRecorder":
+        """Subscribe to ``hierarchy``'s bus and enable hop recording."""
+        if self._bus is not None:
+            raise RuntimeError("recorder is already attached")
+        bus = hierarchy.bus
+        bus.subscribe(MemoryTransaction, self.on_transaction)
+        bus.subscribe(MlcWritebackEvent, self.on_mlc_writeback)
+        bus.subscribe(LlcWritebackEvent, self.on_llc_writeback)
+        bus.subscribe(PmdBatchEvent, self.on_pmd_batch)
+        self._hierarchy = hierarchy
+        self._bus = bus
+        hierarchy.record_hops = True
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe and disable hop recording on the hierarchy."""
+        if self._bus is None:
+            return
+        self._bus.unsubscribe(MemoryTransaction, self.on_transaction)
+        self._bus.unsubscribe(MlcWritebackEvent, self.on_mlc_writeback)
+        self._bus.unsubscribe(LlcWritebackEvent, self.on_llc_writeback)
+        self._bus.unsubscribe(PmdBatchEvent, self.on_pmd_batch)
+        if self._hierarchy is not None and not self._bus.has_subscribers(
+            MemoryTransaction
+        ):
+            self._hierarchy.record_hops = False
+        self._hierarchy = None
+        self._bus = None
+
+    # -- subscribers ----------------------------------------------------
+
+    def on_transaction(self, txn: MemoryTransaction) -> None:
+        self.transactions += 1
+        ts = units.to_microseconds(txn.now)
+        offset = 0
+        for hop in txn.hops:
+            category = categorize(txn, hop)
+            self.category_counts[category] = self.category_counts.get(category, 0) + 1
+            self._component_ticks[hop.component] = (
+                self._component_ticks.get(hop.component, 0) + hop.latency
+            )
+            self._emit(
+                {
+                    "name": f"{hop.component}:{hop.action}",
+                    "cat": category,
+                    "ph": "X",
+                    "ts": ts + units.to_microseconds(offset),
+                    "dur": units.to_microseconds(hop.latency),
+                    "pid": 0,
+                    "tid": _COMPONENT_TIDS.get(hop.component, 0),
+                    "args": {
+                        "kind": txn.kind,
+                        "addr": f"{txn.addr:#x}",
+                        "core": txn.core,
+                        "level": txn.level,
+                    },
+                }
+            )
+            offset += hop.latency
+
+    def on_mlc_writeback(self, event: MlcWritebackEvent) -> None:
+        self._instant(f"mlc-writeback-c{event.core}", "mlc-writeback", event.now)
+
+    def on_llc_writeback(self, event: LlcWritebackEvent) -> None:
+        self._instant("llc-writeback", "llc-writeback", event.now)
+
+    def on_pmd_batch(self, event: PmdBatchEvent) -> None:
+        self._instant(
+            f"pmd-batch-c{event.core} ({event.size})", "pmd-batch", event.now
+        )
+
+    def _instant(self, name: str, category: str, now: int) -> None:
+        self.category_counts[category] = self.category_counts.get(category, 0) + 1
+        self._emit(
+            {
+                "name": name,
+                "cat": category,
+                "ph": "i",
+                "s": "g",
+                "ts": units.to_microseconds(now),
+                "pid": 0,
+                "tid": _EVENT_TID,
+            }
+        )
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if len(self.trace_events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.trace_events.append(event)
+
+    # -- consumers ------------------------------------------------------
+
+    def latency_breakdown_ns(self) -> Dict[str, float]:
+        """Mean per-component critical-path latency (ns) per transaction."""
+        if self.transactions == 0:
+            return {}
+        return {
+            f"mean_{component}_ns": units.to_nanoseconds(ticks) / self.transactions
+            for component, ticks in sorted(self._component_ticks.items())
+        }
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The full trace as a Chrome-trace JSON object."""
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "idio-repro server"},
+            }
+        ]
+        for component, tid in sorted(_COMPONENT_TIDS.items(), key=lambda kv: kv[1]):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": component},
+                }
+            )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": _EVENT_TID,
+                "args": {"name": "events"},
+            }
+        )
+        return {
+            "traceEvents": metadata + self.trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "transactions": self.transactions,
+                "dropped_events": self.dropped_events,
+                "category_counts": dict(sorted(self.category_counts.items())),
+            },
+        }
+
+    def export(self, path: str) -> int:
+        """Write the Chrome-trace JSON to ``path``; returns event count."""
+        trace = self.to_chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+            fh.write("\n")
+        return len(trace["traceEvents"])
+
+    def summary_line(self) -> str:
+        cats = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.category_counts.items())
+        )
+        dropped = f", {self.dropped_events} dropped" if self.dropped_events else ""
+        return f"{self.transactions} transactions traced ({cats}){dropped}"
+
+
+def merge_latency_breakdowns(
+    base: Dict[str, float], recorder: Optional[TraceRecorder]
+) -> Dict[str, float]:
+    """Fold a recorder's per-component breakdown into a queueing/service one."""
+    if recorder is None:
+        return base
+    merged = dict(base)
+    merged.update(recorder.latency_breakdown_ns())
+    return merged

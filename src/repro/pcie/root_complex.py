@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..mem.hierarchy import MemoryHierarchy
+from ..mem.transaction import DMA_READ, DMA_WRITE, MemoryTransaction
 from ..sim import Simulator
 from .tlp import IdioTag, MemReadTLP, MemWriteTLP, decode_idio_bits, encode_idio_bits
 
@@ -57,7 +58,16 @@ class RootComplex:
             placement = self.steering_hook(tag, tlp.address, now)
         else:
             placement = "llc"  # baseline DDIO: static LLC placement
-        return self.hierarchy.pcie_write(tlp.address, now, placement=placement)
+        txn = MemoryTransaction(
+            DMA_WRITE,
+            tlp.address,
+            now,
+            core=tag.dest_core,
+            tag=tag,
+            placement=placement,
+        )
+        self.hierarchy.access(txn)
+        return txn.latency
 
     def memory_write_batch(
         self,
@@ -74,28 +84,38 @@ class RootComplex:
         """
         now = self.sim.now
         hook = self.steering_hook
-        pcie_write = self.hierarchy.pcie_write
+        access = self.hierarchy.access
         if tags is None:
             tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(_UNTAGGED))
+            core = tag.dest_core
+            # Positional construction: this loop runs once per DMA'd line.
             if hook is None:
                 for addr in addrs:
-                    pcie_write(addr, now, placement="llc")
+                    access(MemoryTransaction(DMA_WRITE, addr, now, core, tag))
             else:
                 for addr in addrs:
-                    pcie_write(addr, now, placement=hook(tag, addr, now))
+                    access(
+                        MemoryTransaction(
+                            DMA_WRITE, addr, now, core, tag, hook(tag, addr, now)
+                        )
+                    )
             return
         for addr, raw_tag in zip(addrs, tags):
             tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(raw_tag))
             placement = hook(tag, addr, now) if hook is not None else "llc"
-            pcie_write(addr, now, placement=placement)
+            access(
+                MemoryTransaction(DMA_WRITE, addr, now, tag.dest_core, tag, placement)
+            )
 
     def memory_read(self, tlp: MemReadTLP) -> int:
         """Process one outbound DMA read TLP (TX); returns hierarchy latency."""
-        return self.hierarchy.pcie_read(tlp.address, self.sim.now)
+        txn = MemoryTransaction(DMA_READ, tlp.address, self.sim.now)
+        self.hierarchy.access(txn)
+        return txn.latency
 
     def memory_read_batch(self, addrs: Sequence[int]) -> None:
         """Process one TX burst: a memory-read TLP per line, same tick."""
         now = self.sim.now
-        pcie_read = self.hierarchy.pcie_read
+        access = self.hierarchy.access
         for addr in addrs:
-            pcie_read(addr, now)
+            access(MemoryTransaction(DMA_READ, addr, now))

@@ -1,5 +1,7 @@
 """Tests for the idio-repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import FIGURE_COMMANDS, build_parser, main
@@ -13,9 +15,27 @@ class TestParser:
             ["run", "--policy", "idio"],
             ["compare", "--policies", "ddio,idio"],
             ["figure", "fig9"],
+            ["trace", "--out", "t.json"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    @pytest.mark.parametrize("command", [
+        ["compare", "--policies", "ddio"],
+        ["figure", "fig9"],
+        ["validate"],
+    ])
+    @pytest.mark.parametrize("jobs", ["0", "-1", "-4", "zero"])
+    def test_invalid_jobs_rejected(self, command, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(command + ["--jobs", jobs])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "expected an integer" in err
+
+    def test_valid_jobs_accepted(self):
+        args = build_parser().parse_args(["figure", "fig9", "--jobs", "4"])
+        assert args.jobs == 4
 
     def test_figure_choices_cover_all_paper_figures(self):
         for fig in ("fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"):
@@ -82,6 +102,26 @@ class TestCommands:
         assert rc == 0
         assert out.exists()
         assert "Fig. 13" in out.read_text()
+
+    def test_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        rc = main(["trace", "--out", str(path), "--ring", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        doc = json.loads(path.read_text())
+        cats = doc["otherData"]["category_counts"]
+        for category in (
+            "ddio-fill",
+            "mlc-steer-fill",
+            "direct-dram-write",
+            "invalidate-drop",
+        ):
+            assert cats.get(category, 0) > 0, category
+
+    def test_trace_invalid_max_events_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--max-events", "0"])
 
     def test_steady_traffic_run(self, capsys):
         rc = main(

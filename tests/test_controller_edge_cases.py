@@ -7,6 +7,7 @@ from repro.core.controller import IDIOController
 from repro.core.policies import idio
 from repro.harness.server import ServerConfig, SimulatedServer
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.obs.events import MlcWritebackEvent
 from repro.pcie.tlp import IdioTag
 from repro.sim import Simulator, units
 
@@ -41,13 +42,12 @@ class TestControllerEdgeCases:
 
     def test_multiple_controllers_not_required_but_coexist(self):
         """Two controllers on one hierarchy both observe writebacks
-        (regression guard for the listener list)."""
+        (regression guard for the event bus fan-out)."""
         sim = Simulator()
         h = MemoryHierarchy(HierarchyConfig(num_cores=1, l1_enabled=False))
         a = IDIOController(sim, h)
         b = IDIOController(sim, h)
-        h.mlc_wb_listeners[0](0, 0)  # a's listener
-        h.mlc_wb_listeners[1](0, 0)  # b's listener
+        h.bus.publish(MlcWritebackEvent(0, 0))  # delivered to both
         assert a.mlc_wb[0] == 1 and b.mlc_wb[0] == 1
 
 

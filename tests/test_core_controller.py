@@ -5,6 +5,7 @@ import pytest
 from repro.core.config import IDIOConfig
 from repro.core.controller import IDIOController
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.obs.events import MlcWritebackEvent
 from repro.pcie.tlp import IdioTag
 from repro.sim import Simulator, units
 
@@ -89,7 +90,7 @@ class TestControlPlane:
         # Inject 100 MLC writebacks per 1 us interval for 3 intervals.
         def pressure():
             for _ in range(100):
-                h.mlc_wb_listeners[0](0, sim.now)
+                h.bus.publish(MlcWritebackEvent(0, sim.now))
         for i in range(3):
             sim.schedule_at(units.microseconds(i) + 1, pressure)
         sim.run(until=units.microseconds(3) + 2)
@@ -103,7 +104,7 @@ class TestControlPlane:
 
     def test_mlc_wb_counter_resets_each_interval(self):
         sim, h, ctl = make_controller()
-        h.mlc_wb_listeners[0](0, 0)
+        h.bus.publish(MlcWritebackEvent(0, 0))
         sim.run(until=units.microseconds(1) + 1)
         assert ctl.mlc_wb[0] == 0
         assert ctl.mlc_wb_acc[0] == 1
@@ -112,7 +113,7 @@ class TestControlPlane:
         sim, h, ctl = make_controller()
         ctl.config.average_window_samples = 4  # shrink for the test
         def tick_wb():
-            h.mlc_wb_listeners[0](0, sim.now)
+            h.bus.publish(MlcWritebackEvent(0, sim.now))
         for i in range(4):
             sim.schedule_at(units.microseconds(i) + 1, tick_wb)
         sim.run(until=units.microseconds(4) + 2)

@@ -85,6 +85,25 @@ class TestRunExperiment:
         assert "exe_time" in norm
         assert norm["exe_time"] > 0
 
+    def test_normalized_to_zero_baseline_is_inf_not_error(self):
+        """A degenerate baseline (0-tick burst) must not raise."""
+        import dataclasses
+
+        base = run_experiment(small_experiment())
+        ours = run_experiment(small_experiment().with_policy(idio()))
+        base_summary = base.summary()
+        ours_summary = ours.summary()
+        zero = dataclasses.replace(base_summary, burst_processing_time=0)
+        assert ours_summary.normalized_to(zero)["exe_time"] == float("inf")
+        both_zero = dataclasses.replace(ours_summary, burst_processing_time=0)
+        assert both_zero.normalized_to(zero)["exe_time"] == 0.0
+        # None on either side means the metric is simply absent.
+        absent = dataclasses.replace(base_summary, burst_processing_time=None)
+        assert "exe_time" not in ours_summary.normalized_to(absent)
+        # Same guard on the result-level (live-server) variant.
+        base.burst_processing_time = 0
+        assert ours.normalized_to(base)["exe_time"] == float("inf")
+
 
 class TestPolicyComparison:
     def test_runs_each_policy(self):

@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.mem.cache import CacheConfig
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.mem.line import LINE_SIZE
+from repro.obs.events import MlcWritebackEvent
 
 
 def make_hierarchy(num_cores=2, l1=False, llc_bytes=None, ddio_ways=2, inclusive=False,
@@ -176,7 +177,7 @@ class TestDemandPath:
     def test_mlc_writeback_listener_called(self):
         h = make_hierarchy(num_cores=1)
         calls = []
-        h.mlc_wb_listeners.append(lambda core, now: calls.append(core))
+        h.bus.subscribe(MlcWritebackEvent, lambda event: calls.append(event.core))
         mlc_lines = h.mlc[0].capacity_lines
         for i in range(mlc_lines + 1):
             h.cpu_access(0, i * LINE_SIZE, False, i)

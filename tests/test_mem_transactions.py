@@ -1,0 +1,240 @@
+"""The unified transaction entry point: access(txn), hop records, wrappers.
+
+Covers the egress DMA (``pcie_read``) and invalidate maintenance paths
+through :meth:`MemoryHierarchy.access` explicitly — including the hop
+records each one produces — plus the transaction/wrapper equivalences the
+refactor must preserve.
+"""
+
+import pytest
+
+from repro.mem import (
+    CPU_LOAD,
+    CPU_STORE,
+    DMA_READ,
+    DMA_WRITE,
+    INVALIDATE,
+    PREFETCH_FILL,
+    Hop,
+    MemoryTransaction,
+    cpu_access_txn,
+)
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.line import LINE_SIZE
+
+
+def make_hierarchy(num_cores=2, record_hops=True):
+    h = MemoryHierarchy(HierarchyConfig(num_cores=num_cores, l1_enabled=False))
+    h.record_hops = record_hops
+    return h
+
+
+ADDR = 0x100000
+
+
+def hops_of(txn):
+    return [(hop.component, hop.action) for hop in txn.hops]
+
+
+class TestTransactionObject:
+    def test_addr_normalized_to_line(self):
+        txn = MemoryTransaction(CPU_LOAD, ADDR + 17, 0)
+        assert txn.addr == ADDR
+
+    def test_origin_and_is_write(self):
+        assert MemoryTransaction(DMA_WRITE, ADDR, 0).origin == "io"
+        assert MemoryTransaction(PREFETCH_FILL, ADDR, 0).origin == "prefetcher"
+        assert MemoryTransaction(CPU_STORE, ADDR, 0).is_write
+        assert not MemoryTransaction(DMA_READ, ADDR, 0).is_write
+
+    def test_cpu_access_txn_constructor(self):
+        txn = cpu_access_txn(1, ADDR, True, 42)
+        assert (txn.kind, txn.core, txn.now) == (CPU_STORE, 1, 42)
+
+    def test_unknown_kind_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError, match="unknown transaction kind"):
+            h.access(MemoryTransaction("teleport", ADDR, 0))
+
+    def test_hop_latencies_sum_to_txn_latency(self):
+        h = make_hierarchy()
+        txn = cpu_access_txn(0, ADDR, False, 0)
+        h.access(txn)
+        assert txn.level == "dram"
+        assert sum(hop.latency for hop in txn.hops) == txn.latency
+
+    def test_hops_empty_when_recording_disabled(self):
+        h = make_hierarchy(record_hops=False)
+        txn = cpu_access_txn(0, ADDR, False, 0)
+        h.access(txn)
+        assert txn.hops == []
+        assert txn.latency > 0
+
+
+class TestEgressDmaPath:
+    """pcie_read (NIC TX) through the typed entry point."""
+
+    def test_llc_hit_hops(self):
+        h = make_hierarchy()
+        h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))  # DDIO fill
+        txn = MemoryTransaction(DMA_READ, ADDR, 10)
+        h.access(txn)
+        assert txn.level == "llc"
+        assert hops_of(txn) == [("llc", "hit")]
+        assert txn.latency == h.llc.config.latency
+
+    def test_miss_goes_to_dram(self):
+        h = make_hierarchy()
+        txn = MemoryTransaction(DMA_READ, ADDR, 0)
+        h.access(txn)
+        assert txn.level == "dram"
+        assert hops_of(txn) == [("llc", "miss"), ("dram", "read")]
+        assert txn.latency > h.llc.config.latency
+        assert txn.hops[1].latency > 0
+
+    def test_dirty_private_copy_written_back_first(self):
+        """Fig. 3 right: the egress read forces the MLC copy out via LLC."""
+        h = make_hierarchy()
+        h.cpu_access(0, ADDR, True, 0)  # dirty in core 0's MLC
+        txn = MemoryTransaction(DMA_READ, ADDR, 10)
+        h.access(txn)
+        assert hops_of(txn) == [
+            ("mlc", "evict"),
+            ("llc", "writeback"),
+            ("llc", "hit"),
+        ]
+        assert txn.level == "llc"
+        assert h.stats.counters.get("mlc_writebacks") == 1
+        assert h.where(ADDR)["mlc"] == []
+
+    def test_wrapper_matches_transaction(self):
+        a = make_hierarchy(record_hops=False)
+        b = make_hierarchy(record_hops=False)
+        a.pcie_write(ADDR, 0)
+        b.pcie_write(ADDR, 0)
+        txn = MemoryTransaction(DMA_READ, ADDR, 10)
+        b.access(txn)
+        assert a.pcie_read(ADDR, 10) == txn.latency
+        assert a.stats.counters.snapshot() == b.stats.counters.snapshot()
+
+
+class TestInvalidatePath:
+    """Invalidate-without-writeback (M1) through the typed entry point."""
+
+    def test_drops_private_and_llc_copies(self):
+        h = make_hierarchy()
+        h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))
+        h.cpu_access(0, ADDR, True, 1)  # dirty private copy
+        txn = MemoryTransaction(INVALIDATE, ADDR, 10, core=0)
+        h.access(txn)
+        assert txn.level == "invalidated"
+        assert hops_of(txn) == [("mlc", "drop")]
+        where = h.where(ADDR)
+        assert where["mlc"] == [] and where["llc"] is False
+        # The whole point: no data ever moved to DRAM.
+        assert h.stats.counters.get("dram_writes") == 0
+
+    def test_llc_only_copy_dropped(self):
+        h = make_hierarchy()
+        h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))  # LLC copy only
+        txn = MemoryTransaction(INVALIDATE, ADDR, 10, core=0)
+        h.access(txn)
+        assert txn.level == "absent"  # nothing private was held
+        assert hops_of(txn) == [("llc", "drop")]
+        assert h.stats.counters.get("self_invalidations_llc") == 1
+
+    def test_private_scope_leaves_llc_copy(self):
+        h = make_hierarchy()
+        h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))
+        h.cpu_access(0, ADDR, False, 1)
+        txn = MemoryTransaction(INVALIDATE, ADDR, 10, core=0, scope="private")
+        h.access(txn)
+        assert txn.level == "invalidated"
+        assert hops_of(txn) == [("mlc", "drop")]
+
+    def test_unknown_scope_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError, match="unknown invalidate scope"):
+            h.access(MemoryTransaction(INVALIDATE, ADDR, 0, core=0, scope="bogus"))
+
+    def test_wrapper_matches_transaction(self):
+        a = make_hierarchy(record_hops=False)
+        b = make_hierarchy(record_hops=False)
+        for h in (a, b):
+            h.pcie_write(ADDR, 0)
+            h.cpu_access(0, ADDR, True, 1)
+        a.invalidate(0, ADDR, 10)
+        b.access(MemoryTransaction(INVALIDATE, ADDR, 10, core=0))
+        assert a.stats.counters.snapshot() == b.stats.counters.snapshot()
+        assert a.where(ADDR) == b.where(ADDR)
+
+
+class TestDmaWriteHops:
+    def test_ddio_fill_hop(self):
+        h = make_hierarchy()
+        txn = MemoryTransaction(DMA_WRITE, ADDR, 0)
+        h.access(txn)
+        assert ("llc", "fill") in hops_of(txn)
+        assert txn.level == "llc"
+
+    def test_ddio_update_hop(self):
+        h = make_hierarchy()
+        h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))
+        txn = MemoryTransaction(DMA_WRITE, ADDR, 5)
+        h.access(txn)
+        assert hops_of(txn) == [("llc", "update")]
+
+    def test_direct_dram_hop(self):
+        h = make_hierarchy()
+        txn = MemoryTransaction(DMA_WRITE, ADDR, 0, placement="dram")
+        h.access(txn)
+        assert txn.level == "dram"
+        assert hops_of(txn) == [("dram", "write")]
+
+    def test_mlc_invalidation_hop(self):
+        h = make_hierarchy()
+        h.cpu_access(0, ADDR, False, 0)  # line lands in core 0's MLC
+        txn = MemoryTransaction(DMA_WRITE, ADDR, 5)
+        h.access(txn)
+        assert hops_of(txn)[0] == ("mlc", "inval")
+
+    def test_unknown_placement_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError, match="unknown placement"):
+            h.access(MemoryTransaction(DMA_WRITE, ADDR, 0, placement="moon"))
+
+
+class TestCpuPathHops:
+    def test_miss_path_components(self):
+        h = make_hierarchy()
+        txn = cpu_access_txn(0, ADDR, False, 0)
+        h.access(txn)
+        assert hops_of(txn) == [
+            ("mlc", "miss"),
+            ("llc", "miss"),
+            ("dram", "read"),
+            ("mlc", "fill"),
+        ]
+
+    def test_hit_after_fill(self):
+        h = make_hierarchy()
+        h.cpu_access(0, ADDR, False, 0)
+        txn = cpu_access_txn(0, ADDR, False, 1)
+        h.access(txn)
+        assert txn.level == "mlc"
+        assert hops_of(txn) == [("mlc", "hit")]
+
+    def test_hop_latency_by_component(self):
+        h = make_hierarchy()
+        txn = cpu_access_txn(0, ADDR, False, 0)
+        h.access(txn)
+        split = txn.hop_latency_by_component()
+        assert split["dram"] > 0
+        assert sum(split.values()) == txn.latency
+
+
+class TestHop:
+    def test_is_named_tuple(self):
+        hop = Hop("llc", "fill", 7)
+        assert hop.component == "llc"
+        assert tuple(hop) == ("llc", "fill", 7)

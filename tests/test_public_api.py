@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.cpu",
     "repro.core",
     "repro.harness",
+    "repro.obs",
 ]
 
 
