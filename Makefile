@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-benchmarks bench bench-check validate lint
+.PHONY: test test-benchmarks bench bench-check validate lint analyze check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,6 +9,16 @@ test:
 # Requires ruff (pip install ruff); configuration lives in pyproject.toml.
 lint:
 	ruff check src tests tools benchmarks
+
+# Full static-analysis battery: simlint (always) + ruff/mypy (when
+# installed -- missing tools are skipped with a notice, see tools/analyze.py).
+analyze:
+	$(PYTHON) tools/analyze.py
+
+# Runtime correctness gate: checked-mode runs (invariant sanitizer) plus
+# the dual-run determinism digest (see `repro check --help`).
+check:
+	$(PYTHON) -m repro.cli check --quick
 
 test-benchmarks:
 	$(PYTHON) -m pytest benchmarks -q

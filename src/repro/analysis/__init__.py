@@ -1,0 +1,14 @@
+"""Runtime correctness tooling: the invariant sanitizer and determinism digest.
+
+``repro.analysis`` is the dynamic half of the correctness tooling (the
+static half is ``tools/simlint``).  The
+:class:`~repro.analysis.sanitizer.InvariantSanitizer` is an opt-in,
+ASan-style checker that rides the observability bus and asserts the
+hierarchy's structural invariants at barriers; enable it per run with
+``ServerConfig(checked_mode=True)`` or end-to-end with ``repro check``.
+"""
+
+from .determinism import fingerprint_digest
+from .sanitizer import InvariantSanitizer, InvariantViolation
+
+__all__ = ["InvariantSanitizer", "InvariantViolation", "fingerprint_digest"]

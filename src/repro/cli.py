@@ -9,6 +9,7 @@ Installed as the ``idio-repro`` console script::
     idio-repro figure fig10 --out fig10.txt
     idio-repro run --policy ddio --csv trace.csv   # export timelines
     idio-repro trace --out idio-trace.json         # Chrome-trace export
+    idio-repro check --quick                       # sanitizer + determinism
 """
 
 from __future__ import annotations
@@ -115,6 +116,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="reduced scale (~3x faster)"
     )
     _add_jobs_arg(val_p)
+
+    check_p = sub.add_parser(
+        "check",
+        help="run the correctness gate: checked-mode (invariant sanitizer) "
+        "runs plus a dual-run determinism digest comparison",
+    )
+    check_p.add_argument(
+        "--quick", action="store_true", help="reduced-scale runs (for CI)"
+    )
+    check_p.add_argument(
+        "--policies",
+        default="ddio,idio",
+        help="comma-separated policies to run in checked mode "
+        "(default: %(default)s)",
+    )
+    check_p.add_argument(
+        "--barrier-interval",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help="transactions between structural-barrier sweeps "
+        "(default: %(default)s)",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -313,6 +337,75 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if card.all_passed else 1
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Correctness gate: invariant-sanitizer runs + determinism digest.
+
+    Two halves, mirroring the paper-reproduction requirements: (1) each
+    requested policy runs end to end with ``checked_mode=True`` so the
+    :class:`~repro.analysis.sanitizer.InvariantSanitizer` asserts the
+    hierarchy invariants on every transaction and at barriers; (2) the
+    reference workload runs twice and the two summary fingerprints must
+    hash identically (the guarantee the process-pool runner relies on).
+    Exits non-zero on the first class of failure encountered.
+    """
+    from .analysis import fingerprint_digest
+    from .analysis.sanitizer import InvariantViolation
+    from .harness.runner import run_experiment_summary
+
+    names = [n.strip() for n in args.policies.split(",") if n.strip()]
+    if not names:
+        print("no policies given", file=sys.stderr)
+        return 2
+    rate = 25.0 if args.quick else 100.0
+    ring = 256 if args.quick else 1024
+    failures = 0
+
+    def make_experiment(policy_name: str, checked: bool) -> Experiment:
+        server = ServerConfig(
+            policy=policies.policy_by_name(policy_name),
+            ring_size=ring,
+            checked_mode=checked,
+            checked_barrier_interval=args.barrier_interval,
+        )
+        return Experiment(
+            name=f"check-{policy_name}",
+            server=server,
+            traffic="bursty",
+            burst_rate_gbps=rate,
+        )
+
+    for name in names:
+        try:
+            result = run_experiment(make_experiment(name, checked=True))
+            sanitizer = result.server.sanitizer
+            assert sanitizer is not None
+            sanitizer.check_all()
+        except InvariantViolation as exc:
+            print(f"FAIL sanitizer[{name}]: {exc}")
+            failures += 1
+            continue
+        print(f"ok   sanitizer[{name}]: {sanitizer.summary_line()}")
+
+    reference = make_experiment(names[0], checked=False)
+    digests = [
+        fingerprint_digest(run_experiment_summary(reference)) for _ in range(2)
+    ]
+    if digests[0] != digests[1]:
+        print(
+            "FAIL determinism: repeated runs diverged "
+            f"({digests[0][:16]}... != {digests[1][:16]}...)"
+        )
+        failures += 1
+    else:
+        print(f"ok   determinism: digest {digests[0][:16]}... (two runs)")
+
+    if failures:
+        print(f"check: {failures} failure(s)")
+        return 1
+    print("check: all clean")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run the reference burst experiment with tracing; export Chrome JSON.
 
@@ -359,6 +452,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "figure": cmd_figure,
         "validate": cmd_validate,
+        "check": cmd_check,
         "trace": cmd_trace,
     }
     return handlers[args.command](args)

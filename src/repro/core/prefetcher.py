@@ -14,6 +14,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from ..mem.hierarchy import MemoryHierarchy
+from ..mem.transaction import PREFETCH_FILL, MemoryTransaction
 from ..sim import Simulator
 
 
@@ -65,7 +66,10 @@ class MLCPrefetcher:
             return
         addr = self._queue.popleft()
         self.prefetches_issued += 1
-        if self.hierarchy.prefetch_fill(self.core, addr, self.sim.now):
+        txn = self.hierarchy.access(
+            MemoryTransaction(PREFETCH_FILL, addr, self.sim.now, core=self.core)
+        )
+        if txn.level != "dropped":
             self.prefetches_useful += 1
         if self._queue:
             self.sim.schedule_after(self.service_time, self._drain, "mlc-prefetch")
@@ -173,7 +177,10 @@ class RegulatedMLCPrefetcher(MLCPrefetcher):
         lines = min(self._lines_per_buffer, packet.num_lines)
         addr = desc.buffer_addr + self._cursor_line * 64
         self.prefetches_issued += 1
-        if self.hierarchy.prefetch_fill(self.core, addr, self.sim.now):
+        txn = self.hierarchy.access(
+            MemoryTransaction(PREFETCH_FILL, addr, self.sim.now, core=self.core)
+        )
+        if txn.level != "dropped":
             self.prefetches_useful += 1
         self._cursor_line += 1
         if self._cursor_line >= lines:

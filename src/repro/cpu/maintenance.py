@@ -75,7 +75,9 @@ class MaintenanceUnit:
             if llc_line is not None and llc_line.dirty:
                 dirty = True
             # Drop all cached copies; dirty data goes to DRAM.
-            self.hierarchy.invalidate(self.core, addr, now, scope="all")
+            self.hierarchy.access(
+                MemoryTransaction(INVALIDATE, addr, now, core=self.core, scope="all")
+            )
             if dirty:
                 self.hierarchy.dram.write(addr, now)
             cost += self.INVALIDATE_LINE_COST

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
+from ..analysis.sanitizer import InvariantSanitizer
 from ..core.cachedirector import CacheDirectorController
 from ..core.config import IDIOConfig
 from ..core.controller import IDIOController
@@ -116,6 +117,13 @@ class ServerConfig:
     trace_enabled: bool = False
     #: Event cap for the recorder when tracing is enabled.
     trace_max_events: int = 2_000_000
+    #: Attach the :class:`~repro.analysis.sanitizer.InvariantSanitizer`
+    #: (ASan-style runtime invariant checks on every transaction plus
+    #: periodic structural barriers).  Off by default: checked mode costs
+    #: simulation throughput and exists for tests and ``repro check``.
+    checked_mode: bool = False
+    #: Transactions between two structural-barrier sweeps in checked mode.
+    checked_barrier_interval: int = 4096
 
     def app_for_core(self, core: int) -> str:
         if self.apps is None:
@@ -198,6 +206,14 @@ class SimulatedServer:
                 max_events=config.trace_max_events
             ).attach(self.hierarchy)
 
+        #: Optional runtime invariant checker (``checked_mode``).
+        self.sanitizer: Optional[InvariantSanitizer] = None
+        if config.checked_mode:
+            self.sanitizer = InvariantSanitizer(
+                self.hierarchy,
+                barrier_interval=config.checked_barrier_interval,
+            ).attach()
+
         if config.nf_cat_ways is not None:
             # Restrict NF-core fills to the first nf_cat_ways non-DDIO ways.
             allowed = list(
@@ -242,6 +258,8 @@ class SimulatedServer:
                 direct_dram_enabled=config.policy.direct_dram,
             )
             self.root_complex.attach_controller(self.controller.steer)
+            if self.sanitizer is not None:
+                self.sanitizer.register_controller(self.controller)
         elif config.policy.dynamic_ddio_ways:
             self.iat_controller = IATController(self.sim, self.hierarchy)
         elif config.policy.slice_header_steering:
@@ -322,6 +340,8 @@ class SimulatedServer:
                         stride,
                         lines_per_buffer=num_lines(config.packet_bytes),
                     )
+            if self.sanitizer is not None and buffer_pool is not None:
+                self.sanitizer.register_pool(buffer_pool)
             self.apps.append(app)
             self.drivers.append(driver)
             self.generators.append(

@@ -18,7 +18,7 @@ from .line import LINE_SIZE, CacheLine, line_address
 from .replacement import ReplacementPolicy, make_policy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheConfig:
     """Geometry and timing of one cache level.
 
@@ -57,6 +57,19 @@ class SetAssociativeCache:
     Lookup/insert/remove are O(assoc).  The container holds no timing; it
     is pure state plus replacement bookkeeping.
     """
+
+    __slots__ = (
+        "config",
+        "num_sets",
+        "assoc",
+        "_sets",
+        "_where",
+        "policy",
+        "_all_ways",
+        "_mask_cache",
+        "_line_shift",
+        "_set_mask",
+    )
 
     def __init__(self, config: CacheConfig) -> None:
         config.validate()

@@ -275,7 +275,7 @@ class MemoryHierarchy:
         """Handle a line evicted from the LLC data array."""
         if self.llc.inclusive:
             # Inclusive LLC: eviction back-invalidates private copies.
-            for core in self.llc.directory.owners(victim.addr):
+            for core in sorted(self.llc.directory.owners(victim.addr)):
                 private = self._drop_private(core, victim.addr)
                 self.stats.bump("back_invalidations", now, log=False)
                 if private is not None and private.dirty:
@@ -359,7 +359,7 @@ class MemoryHierarchy:
 
     def _directory_back_invalidate(self, entry, now: int) -> None:
         """A directory eviction forces the MLC copies out (non-inclusive)."""
-        for core in entry.owners:
+        for core in sorted(entry.owners):
             line = self._drop_private(core, entry.addr)
             self.stats.bump("directory_back_invalidations", now, log=False)
             if line is not None and line.dirty:
@@ -425,7 +425,7 @@ class MemoryHierarchy:
         remote_owners = self.llc.directory.owners(addr) - {core}
         if remote_owners:
             migrated: Optional[CacheLine] = None
-            for owner in remote_owners:
+            for owner in sorted(remote_owners):
                 line = self._drop_private(owner, addr)
                 self.llc.directory.remove(addr, owner)
                 if line is not None and (migrated is None or line.dirty):
@@ -507,7 +507,7 @@ class MemoryHierarchy:
 
         # Invalidate any private (MLC/L1) copies — steps P1-1/P2-1 of Fig. 1.
         owners = self.llc.directory.owners(addr)
-        for core in owners:
+        for core in sorted(owners):
             self._drop_private(core, addr)
             if hops is not None:
                 hops.append(Hop("mlc", "inval", 0))
@@ -567,7 +567,7 @@ class MemoryHierarchy:
         latency = self.llc.config.latency
 
         owners = self.llc.directory.owners(addr)
-        for core in owners:
+        for core in sorted(owners):
             # MLC copies are invalidated and written back to LLC (Fig. 3
             # right): the egress read must observe the latest data.
             line = self._drop_private(core, addr)

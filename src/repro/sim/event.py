@@ -50,6 +50,8 @@ class Event:
 class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap",)
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
 

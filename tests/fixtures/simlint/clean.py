@@ -1,0 +1,15 @@
+# simlint-fixture-module: repro.sim.fake
+"""A well-behaved simulation module: zero violations expected."""
+from random import Random
+
+
+class Model:
+    __slots__ = ("rng", "pending")
+
+    def __init__(self, seed):
+        self.rng = Random(seed)
+        self.pending = set()
+
+    def drain(self):
+        for addr in sorted(self.pending):
+            yield addr

@@ -1,0 +1,12 @@
+# simlint-fixture-module: repro.sim.fake
+"""SIM001 fixture: host-clock reads inside simulation code (3 violations)."""
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()
+    elapsed = perf_counter()
+    wall = datetime.now()
+    return started, elapsed, wall

@@ -1,0 +1,13 @@
+# simlint-fixture-module: repro.nic.fake
+"""SIM002 fixture: unseeded / module-global randomness (4 violations)."""
+import random
+from random import Random, randint
+
+
+def jitter():
+    a = random.random()
+    rng = random.Random()
+    b = randint(0, 7)
+    rng2 = Random()
+    seeded = Random(42)  # fine: explicit seed
+    return a, rng, b, rng2, seeded

@@ -1,0 +1,16 @@
+# simlint-fixture-module: repro.mem.fake
+"""SIM003 fixture: nondeterministic iteration orders (4 violations)."""
+
+
+def sweep(directory, addr, lines, table):
+    total = 0
+    for core in directory.owners(addr):
+        total += core
+    pending = set(lines)
+    for line in pending:
+        total += line
+    sizes = [x * 2 for x in {1, 2, 3}]
+    table[id(directory)] = total
+    for line in sorted(pending):  # fine: sorted() pins the order
+        total += line
+    return total, sizes

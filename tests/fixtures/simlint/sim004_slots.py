@@ -1,0 +1,29 @@
+# simlint-fixture-module: repro.mem.cache
+"""SIM004 fixture: hot-path classes without __slots__ (2 violations)."""
+from dataclasses import dataclass
+
+
+class HotLine:
+    def __init__(self, addr):
+        self.addr = addr
+
+
+@dataclass
+class HotConfig:
+    ways: int = 8
+
+
+@dataclass(frozen=True, slots=True)
+class GoodConfig:  # fine: slots=True
+    ways: int = 8
+
+
+class GoodLine:  # fine: explicit __slots__
+    __slots__ = ("addr",)
+
+    def __init__(self, addr):
+        self.addr = addr
+
+
+class PoolError(RuntimeError):  # fine: exceptions are exempt
+    pass

@@ -1,0 +1,9 @@
+# simlint-fixture-module: repro.core.fake
+"""SIM005 fixture: legacy per-kind wrapper calls (3 violations)."""
+
+
+def touch(hierarchy, core, addr, now):
+    hierarchy.cpu_access(core, addr, False, now)
+    hierarchy.pcie_write(addr, now)
+    hierarchy.invalidate(addr, now)
+    hierarchy.access(None)  # fine: the unified entry point

@@ -1,0 +1,26 @@
+# simlint-fixture-module: repro.obs.fake
+"""SIM006 fixture: subscriber signatures vs event types (3 violations)."""
+
+
+class CacheFill:
+    pass
+
+
+class EvictionEvent:
+    pass
+
+
+class Recorder:
+    def on_txn(self, txn, extra):
+        return txn, extra
+
+
+def on_fill(event: CacheFill):
+    return event
+
+
+def wire(bus, recorder):
+    bus.subscribe(CacheFill, recorder.on_txn)  # arity: two required args
+    bus.subscribe(EvictionEvent, on_fill)  # annotated CacheFill, wrong topic
+    bus.subscribe(EvictionEvent, lambda a, b: None)  # lambda arity
+    bus.subscribe(CacheFill, on_fill)  # fine

@@ -1,0 +1,13 @@
+# simlint-fixture-module: repro.cpu.fake
+"""SIM007 fixture: tick-vs-wall-time suffix mismatches (3 violations)."""
+from repro.sim import units
+from repro.sim.units import cycles
+
+
+def budget(sim, span):
+    delay_ns = units.cycles(3)
+    window_ticks = units.to_nanoseconds(span)
+    spin = cycles(5)  # fine: no unit suffix to contradict
+    sim.schedule(delay_ns=cycles(2))
+    stamp_ns = units.to_nanoseconds(span)  # fine: wall value, wall suffix
+    return delay_ns, window_ticks, spin, stamp_ns

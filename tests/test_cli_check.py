@@ -1,0 +1,28 @@
+"""`repro check` end-to-end: exit codes and output of the correctness gate."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_check(capsys, extra=()):
+    code = main(["check", "--quick", "--policies", "ddio", *extra])
+    return code, capsys.readouterr().out
+
+
+def test_check_quick_passes(capsys):
+    code, out = run_check(capsys)
+    assert code == 0
+    assert "ok   sanitizer[ddio]" in out
+    assert "ok   determinism" in out
+    assert "check: all clean" in out
+
+
+def test_check_rejects_empty_policy_list(capsys):
+    assert main(["check", "--policies", ""]) == 2
+
+
+def test_check_help_lists_subcommand():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", "--help"])
+    assert excinfo.value.code == 0

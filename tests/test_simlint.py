@@ -1,0 +1,90 @@
+"""simlint self-tests: every rule catches its fixture; src/repro stays clean.
+
+The fixture tree (``tests/fixtures/simlint``) holds one known-bad snippet
+per rule plus a clean control file.  Each fixture's first line declares
+the module it masquerades as (the scope rules key off module names), so
+the snippets never have to live inside ``src/repro``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tools.simlint import RULES, lint_file, lint_paths, lint_source, module_name_for
+
+FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _fixture_module(path: Path) -> str:
+    header = path.read_text().splitlines()[0]
+    assert header.startswith("# simlint-fixture-module:"), path
+    return header.split(":", 1)[1].strip()
+
+
+#: (fixture file, the one rule it must trip, expected violation count).
+FIXTURE_CASES = [
+    ("sim001_wallclock.py", "SIM001", 3),
+    ("sim002_randomness.py", "SIM002", 4),
+    ("sim003_set_iteration.py", "SIM003", 4),
+    ("sim004_slots.py", "SIM004", 2),
+    ("sim005_legacy_wrapper.py", "SIM005", 3),
+    ("sim006_subscriber.py", "SIM006", 3),
+    ("sim007_units.py", "SIM007", 3),
+]
+
+
+@pytest.mark.parametrize("fname,rule,expected", FIXTURE_CASES)
+def test_fixture_catches(fname, rule, expected):
+    path = FIXTURES / fname
+    violations = lint_file(str(path), module=_fixture_module(path))
+    assert violations, f"{fname} produced no violations"
+    assert {v.rule for v in violations} == {rule}
+    assert len(violations) == expected
+    for v in violations:
+        assert v.render().startswith(str(path))
+        assert v.line > 1  # never the header line
+
+
+def test_every_rule_has_a_fixture():
+    assert {rule for _, rule, _ in FIXTURE_CASES} == set(RULES)
+
+
+def test_clean_fixture_is_clean():
+    path = FIXTURES / "clean.py"
+    assert lint_file(str(path), module=_fixture_module(path)) == []
+
+
+def test_pragma_suppression():
+    src = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # simlint: disable=SIM001\n"
+    )
+    assert lint_source(src, "repro.sim.fake") == []
+    assert lint_source(src.replace("=SIM001", "=all"), "repro.sim.fake") == []
+    wrong = src.replace("=SIM001", "=SIM002")
+    assert [v.rule for v in lint_source(wrong, "repro.sim.fake")] == ["SIM001"]
+
+
+def test_scope_gating():
+    src = "import time\nt = time.time()\n"
+    # Harness code may read the host clock (progress reporting etc.).
+    assert lint_source(src, "repro.harness.server") == []
+    # Simulation code may not ...
+    assert [v.rule for v in lint_source(src, "repro.sim.clock")] == ["SIM001"]
+    # ... except the kernel, which owns the events/sec diagnostics.
+    assert lint_source(src, "repro.sim.kernel") == []
+
+
+def test_module_name_for():
+    assert module_name_for("src/repro/mem/cache.py") == "repro.mem.cache"
+    assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_name_for("tools/bench.py") == "bench"
+
+
+def test_src_repro_is_simlint_clean():
+    """The tree guarantee behind `make analyze`: zero suppressions needed."""
+    violations = lint_paths([str(REPO_SRC)])
+    assert violations == [], "\n".join(v.render() for v in violations)

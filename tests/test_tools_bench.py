@@ -1,0 +1,55 @@
+"""tools/bench.py --check: regression comparison and exit-code propagation."""
+
+from tools.bench import compare
+
+
+def matrix(**walls):
+    return {
+        "results": {name: {"wall_seconds": wall} for name, wall in walls.items()}
+    }
+
+
+def test_within_threshold_passes():
+    failures = compare(matrix(a=1.0, b=2.0), matrix(a=1.0, b=2.0), 25.0)
+    assert failures == []
+
+
+def test_regression_reported_with_diff_summary():
+    failures = compare(matrix(a=2.0), matrix(a=1.0), 25.0)
+    assert len(failures) == 1
+    assert "a" in failures[0]
+    assert "+100.0%" in failures[0]
+    assert "1.00s -> 2.00s" in failures[0]
+
+
+def test_improvement_is_not_a_failure():
+    assert compare(matrix(a=0.5), matrix(a=1.0), 25.0) == []
+
+
+def test_missing_baseline_workload_is_flagged():
+    # Baseline measured 'b' but the current run silently dropped it.
+    failures = compare(matrix(a=1.0), matrix(a=1.0, b=3.0), 25.0)
+    assert failures == ["b missing from current run"]
+
+
+def test_new_workload_without_baseline_is_allowed():
+    assert compare(matrix(a=1.0, new=9.9), matrix(a=1.0), 25.0) == []
+
+
+def test_exit_code_propagation(monkeypatch, tmp_path):
+    """main(--check) returns 1 on regression, 0 when clean."""
+    import tools.bench as bench
+
+    baseline = tmp_path / "BENCH_2026-01-01.json"
+    import json
+
+    baseline.write_text(json.dumps(matrix(a=1.0)))
+    monkeypatch.setattr(bench, "latest_committed", lambda: baseline)
+    monkeypatch.setattr(
+        bench, "run_matrix", lambda: {"date": "x", "results": matrix(a=2.0)["results"]}
+    )
+    assert bench.main(["--check"]) == 1
+    monkeypatch.setattr(
+        bench, "run_matrix", lambda: {"date": "x", "results": matrix(a=1.0)["results"]}
+    )
+    assert bench.main(["--check"]) == 0

@@ -1,0 +1,6 @@
+"""Developer tooling for the reproduction (not shipped with the package).
+
+``tools.simlint`` is the repo-specific static-analysis pass wired into
+``make analyze``; ``tools/bench.py`` is the benchmark harness and
+``tools/analyze.py`` the driver that sequences ruff + simlint + mypy.
+"""

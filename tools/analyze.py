@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Static-analysis driver: simlint + (when installed) ruff and mypy.
+
+``make analyze`` runs this.  The repo-specific simlint pass
+(:mod:`tools.simlint`) always runs — it has no dependencies beyond the
+standard library.  ruff and mypy are development-environment tools that
+may not be installed (the simulator itself needs nothing outside the
+stdlib); when one is missing it is *skipped with a notice* rather than
+failing, so `make analyze` is useful both on a bare checkout and in CI
+(where the workflow installs both and every tool really runs).
+
+Exit status is non-zero iff any tool that actually ran reported
+problems.  mypy is scoped to the strictly-typed subset
+(``repro.mem``/``repro.obs``/``repro.analysis``); ruff covers the whole
+tree with the pyproject configuration.
+
+Usage::
+
+    PYTHONPATH=src python tools/analyze.py          # all available tools
+    PYTHONPATH=src python tools/analyze.py --only simlint
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.simlint import cli as simlint_cli  # noqa: E402
+
+#: Modules mypy checks (the typed core; the harness layer is exempt).
+MYPY_TARGETS = [
+    "src/repro/mem",
+    "src/repro/obs",
+    "src/repro/analysis",
+]
+
+#: Paths ruff lints (same set as ``make lint``).
+RUFF_TARGETS = ["src", "tests", "tools", "benchmarks"]
+
+
+def run_simlint() -> int:
+    print("== simlint ==")
+    return simlint_cli.main(["src/repro"])
+
+
+def _run_external(tool: str, argv: list[str]) -> int | None:
+    """Run an optional external tool; ``None`` means it is not installed."""
+    if shutil.which(tool) is None:
+        print(f"== {tool} == not installed, skipped (pip install {tool})")
+        return None
+    print(f"== {tool} ==")
+    proc = subprocess.run([tool, *argv], cwd=REPO_ROOT)
+    return proc.returncode
+
+
+def run_ruff() -> int | None:
+    return _run_external("ruff", ["check", *RUFF_TARGETS])
+
+
+def run_mypy() -> int | None:
+    return _run_external("mypy", MYPY_TARGETS)
+
+
+TOOLS = {
+    "simlint": run_simlint,
+    "ruff": run_ruff,
+    "mypy": run_mypy,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=sorted(TOOLS),
+        help="run a single tool instead of the full battery",
+    )
+    args = parser.parse_args(argv)
+
+    names = [args.only] if args.only else list(TOOLS)
+    failed: list[str] = []
+    for name in names:
+        status = TOOLS[name]()
+        if status is not None and status != 0:
+            failed.append(name)
+    if failed:
+        print(f"analyze: FAIL ({', '.join(failed)})")
+        return 1
+    print("analyze: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

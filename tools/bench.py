@@ -97,6 +97,39 @@ def latest_committed() -> Path | None:
     return Path(files[-1]) if files else None
 
 
+def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
+    """Per-workload comparison; returns the list of failure descriptions.
+
+    A failure is either a wall-time regression beyond ``threshold_pct`` or
+    a workload present in the baseline but absent from the current run
+    (a silently-dropped workload must not pass the gate).
+    """
+    failures: list[str] = []
+    baseline_results = baseline.get("results", {})
+    for name, cur in current["results"].items():
+        base = baseline_results.get(name)
+        if base is None:
+            print(f"  {name}: new workload, no baseline entry")
+            continue
+        base_wall, cur_wall = base["wall_seconds"], cur["wall_seconds"]
+        delta_pct = (cur_wall - base_wall) / base_wall * 100.0
+        status = "ok"
+        if delta_pct > threshold_pct:
+            status = f"REGRESSION (> {threshold_pct:g}%)"
+            failures.append(
+                f"{name} {delta_pct:+.1f}% ({base_wall:.2f}s -> {cur_wall:.2f}s)"
+            )
+        print(
+            f"  {name}: {base_wall:.2f}s -> {cur_wall:.2f}s "
+            f"({delta_pct:+.1f}%) {status}"
+        )
+    for name in baseline_results:
+        if name not in current["results"]:
+            print(f"  {name}: in baseline but not measured -- workload dropped?")
+            failures.append(f"{name} missing from current run")
+    return failures
+
+
 def check(current: dict, threshold_pct: float) -> int:
     baseline_path = latest_committed()
     if baseline_path is None:
@@ -104,23 +137,12 @@ def check(current: dict, threshold_pct: float) -> int:
         return 0
     baseline = json.loads(baseline_path.read_text())
     print(f"comparing against {baseline_path.name} ({baseline.get('date')})")
-    failures = 0
-    for name, cur in current["results"].items():
-        base = baseline.get("results", {}).get(name)
-        if base is None:
-            print(f"  {name}: no baseline entry, skipped")
-            continue
-        base_wall, cur_wall = base["wall_seconds"], cur["wall_seconds"]
-        delta_pct = (cur_wall - base_wall) / base_wall * 100.0
-        status = "ok"
-        if delta_pct > threshold_pct:
-            status = f"REGRESSION (> {threshold_pct:g}%)"
-            failures += 1
-        print(
-            f"  {name}: {base_wall:.2f}s -> {cur_wall:.2f}s "
-            f"({delta_pct:+.1f}%) {status}"
-        )
-    return 1 if failures else 0
+    failures = compare(current, baseline, threshold_pct)
+    if failures:
+        print("bench-check: FAIL -- " + "; ".join(failures))
+        return 1
+    print(f"bench-check: ok ({len(current['results'])} workloads within threshold)")
+    return 0
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,29 @@
+"""simlint: repo-specific AST lint rules for the IDIO simulator.
+
+The rules encode the determinism and modeling contracts the simulator
+depends on (see ``docs/analysis.md``):
+
+=======  ==============================================================
+SIM001   no wall-clock / host-time calls in simulation code
+SIM002   no unseeded or module-global randomness in simulation code
+SIM003   no iteration over sets or ``id()``-keyed mappings
+SIM004   ``__slots__`` required on hot-path classes
+SIM005   memory traffic goes through ``MemoryHierarchy.access(txn)``
+SIM006   EventBus subscriber signatures must match the event type
+SIM007   tick-vs-wall-time suffix hygiene (``sim.units`` conventions)
+=======  ==============================================================
+
+Use :func:`lint_source` / :func:`lint_file` programmatically, or run
+``python -m tools.simlint src/repro`` (what ``make analyze`` does).
+"""
+
+from .rules import RULES, Violation, lint_file, lint_paths, lint_source, module_name_for
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]

@@ -1,0 +1,43 @@
+"""Command-line front end: ``python -m tools.simlint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .rules import RULES, lint_paths
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="repo-specific determinism/modeling lint for the IDIO simulator",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    violations = lint_paths(args.paths)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"simlint: {len(violations)} violation(s)")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
