@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-benchmarks bench bench-check validate lint analyze check
+.PHONY: test test-benchmarks bench bench-check validate lint analyze check faults-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,12 @@ analyze:
 # the dual-run determinism digest (see `repro check --help`).
 check:
 	$(PYTHON) -m repro.cli check --quick
+
+# Fault-injection degradation matrix at reduced scale with the invariant
+# sanitizer on; exits nonzero if any cell crashes, hangs, or violates an
+# invariant (see docs/api.md).
+faults-smoke:
+	$(PYTHON) -m repro.cli faults --quick --checked --jobs 4
 
 test-benchmarks:
 	$(PYTHON) -m pytest benchmarks -q

@@ -9,6 +9,11 @@ Director, PCIe TLP metadata transport, DPDK-style polling network
 functions) as a discrete-event simulation, plus the harness reproducing
 every figure in the paper's evaluation.
 
+This top-level module re-exports exactly the stable facade defined in
+:mod:`repro.api`; see ``docs/api.md`` for the stability policy.
+Subpackages (``repro.mem``, ``repro.harness``, ...) remain importable for
+white-box work but are internal surface.
+
 Quick start::
 
     from repro import Experiment, ServerConfig, run_experiment
@@ -21,47 +26,58 @@ Quick start::
     print(ours.normalized_to(base))
 """
 
-from . import core, cpu, harness, mem, net, nic, obs, pcie, sim
-from .core import IDIOConfig, IDIOController, PolicyConfig, all_policies
-from .harness import (
+from .api import (
+    FAULT_KINDS,
+    FAULT_LAYERS,
     Experiment,
     ExperimentResult,
     ExperimentSummary,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    PolicyConfig,
     ServerConfig,
     SimulatedServer,
+    Simulator,
+    SweepRecord,
+    SweepResult,
+    all_policies,
+    build_server,
+    ddio,
+    idio,
     run_experiment,
     run_experiments,
     run_policy_comparison,
+    run_sweep,
+    standard_plan,
+    units,
 )
-from .mem import HierarchyConfig, MemoryHierarchy
-from .sim import Simulator, units
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Experiment",
     "ExperimentResult",
     "ExperimentSummary",
-    "HierarchyConfig",
-    "IDIOConfig",
-    "IDIOController",
-    "MemoryHierarchy",
+    "FAULT_KINDS",
+    "FAULT_LAYERS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
     "PolicyConfig",
     "ServerConfig",
     "SimulatedServer",
     "Simulator",
+    "SweepRecord",
+    "SweepResult",
     "all_policies",
-    "core",
-    "cpu",
-    "harness",
-    "mem",
-    "net",
-    "nic",
-    "obs",
-    "pcie",
+    "build_server",
+    "ddio",
+    "idio",
     "run_experiment",
     "run_experiments",
     "run_policy_comparison",
-    "sim",
+    "run_sweep",
+    "standard_plan",
     "units",
 ]

@@ -30,9 +30,10 @@ which is what keeps the bench gate green.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.fsm import STATE_MAX, STATE_MIN
+from ..faults.events import FaultEvent
 from ..mem.cache import SetAssociativeCache
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.replacement import LRUPolicy
@@ -87,6 +88,10 @@ class InvariantSanitizer:
         self._controller = None  # repro.core.controller.IDIOController
         self._attached = False
         self._saved_record_hops = False
+        #: Fault kinds the registered plan declares (None = no plan).
+        self._declared_faults: Optional[Set[str]] = None
+        #: Observed injections by kind (checked-mode fault accounting).
+        self.fault_events_seen: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -102,6 +107,7 @@ class InvariantSanitizer:
         self._saved_record_hops = self.hierarchy.record_hops
         self.hierarchy.record_hops = True
         self.hierarchy.bus.subscribe(MemoryTransaction, self.on_transaction)
+        self.hierarchy.bus.subscribe(FaultEvent, self.on_fault)
         return self
 
     def detach(self) -> None:
@@ -110,6 +116,7 @@ class InvariantSanitizer:
             return
         self._attached = False
         self.hierarchy.bus.unsubscribe(MemoryTransaction, self.on_transaction)
+        self.hierarchy.bus.unsubscribe(FaultEvent, self.on_fault)
         self.hierarchy.record_hops = self._saved_record_hops
 
     def register_pool(self, pool) -> None:
@@ -119,6 +126,39 @@ class InvariantSanitizer:
     def register_controller(self, controller) -> None:
         """Track an IDIO controller's per-core status FSMs."""
         self._controller = controller
+
+    def register_faults(self, plan) -> None:
+        """Declare the run's :class:`~repro.faults.plan.FaultPlan`.
+
+        With a plan registered, every observed :class:`FaultEvent` must
+        carry a kind the plan actually schedules — an event outside the
+        plan means an injector is firing without provenance.
+        """
+        self._declared_faults = {spec.kind for spec in plan.specs}
+
+    # ------------------------------------------------------------------
+    # fault provenance
+    # ------------------------------------------------------------------
+
+    def on_fault(self, event: FaultEvent) -> None:
+        self.fault_events_seen[event.kind] = (
+            self.fault_events_seen.get(event.kind, 0) + 1
+        )
+        expected_layer = event.kind.split(".", 1)[0]
+        if event.layer != expected_layer:
+            self.violations_raised += 1
+            raise InvariantViolation(
+                "fault-provenance",
+                f"fault {event.kind!r} emitted by the {event.layer!r} "
+                f"injector (kind belongs to {expected_layer!r})",
+            )
+        if self._declared_faults is not None and event.kind not in self._declared_faults:
+            self.violations_raised += 1
+            raise InvariantViolation(
+                "fault-provenance",
+                f"fault {event.kind!r} injected but the registered plan "
+                f"only declares {sorted(self._declared_faults)}",
+            )
 
     # ------------------------------------------------------------------
     # per-transaction checks
@@ -365,8 +405,10 @@ class InvariantSanitizer:
     # ------------------------------------------------------------------
 
     def summary_line(self) -> str:
+        faults = sum(self.fault_events_seen.values())
+        fault_note = f", {faults} faults seen" if faults else ""
         return (
             f"sanitizer: {self.transactions_checked} transactions, "
             f"{self.barriers_run} barriers, "
-            f"{self.violations_raised} violations"
+            f"{self.violations_raised} violations{fault_note}"
         )

@@ -1,0 +1,89 @@
+"""The stable public facade of the ``repro`` package.
+
+Everything re-exported here — and nothing else — is covered by the API
+stability policy in ``docs/api.md``: these names keep working across
+minor versions, while the subpackages behind them (``repro.mem``,
+``repro.nic``, ``repro.core``, ...) are internal and may change shape in
+any release.  ``repro/__init__`` re-exports exactly this module, so
+``from repro import run_experiment`` and ``from repro.api import
+run_experiment`` are the same promise.
+
+The facade covers the three things external code does:
+
+* **build & run** — :func:`build_server`, :func:`run_experiment`,
+  :func:`run_experiments`, :func:`run_policy_comparison`, configured via
+  :class:`ServerConfig` / :class:`Experiment` / :class:`PolicyConfig`;
+* **resilient sweeps** — :func:`run_sweep` with per-experiment timeouts,
+  crash retry, and a partial-result :class:`SweepResult`;
+* **fault injection** — :class:`FaultPlan` / :class:`FaultSpec` /
+  :func:`standard_plan` schedules riding inside ``ServerConfig``, with
+  injections observable as :class:`FaultEvent` counts.
+"""
+
+from __future__ import annotations
+
+from .core.policies import PolicyConfig, all_policies, ddio, idio
+from .faults import (
+    FAULT_KINDS,
+    FAULT_LAYERS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    standard_plan,
+)
+from .harness.experiment import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSummary,
+    run_experiment,
+    run_policy_comparison,
+)
+from .harness.runner import (
+    SweepRecord,
+    SweepResult,
+    run_experiments,
+    run_sweep,
+)
+from .harness.server import ServerConfig, SimulatedServer
+from .sim import Simulator, units
+
+
+def build_server(config: ServerConfig) -> SimulatedServer:
+    """Build one fully wired simulated server from a config.
+
+    The returned server is un-started: call :meth:`SimulatedServer.start`,
+    inject traffic, then drive it with :meth:`SimulatedServer.run` /
+    :meth:`SimulatedServer.run_until_drained`.  Most callers want
+    :func:`run_experiment`, which does all of that; ``build_server`` is
+    the escape hatch for custom traffic schedules and white-box
+    inspection.
+    """
+    return SimulatedServer(config)
+
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSummary",
+    "FAULT_KINDS",
+    "FAULT_LAYERS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "PolicyConfig",
+    "ServerConfig",
+    "SimulatedServer",
+    "Simulator",
+    "SweepRecord",
+    "SweepResult",
+    "all_policies",
+    "build_server",
+    "ddio",
+    "idio",
+    "run_experiment",
+    "run_experiments",
+    "run_policy_comparison",
+    "run_sweep",
+    "standard_plan",
+    "units",
+]

@@ -10,6 +10,12 @@ Installed as the ``idio-repro`` console script::
     idio-repro run --policy ddio --csv trace.csv   # export timelines
     idio-repro trace --out idio-trace.json         # Chrome-trace export
     idio-repro check --quick                       # sanitizer + determinism
+    idio-repro faults --quick                      # degradation matrix
+
+The flag vocabulary is shared across subcommands via argparse parent
+parsers: every command that runs experiments accepts the same
+``--workload``/``--app``, ``--policy``, ``--jobs``, ``--seed``, and
+``--out`` spellings with the same semantics.
 """
 
 from __future__ import annotations
@@ -76,46 +82,108 @@ FIGURE_QUICK_ARGS: Dict[str, Dict[str, object]] = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="idio-repro",
         description="IDIO (MICRO 2022) reproduction: experiments and figure harness",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list policies, applications, and figures")
 
-    run_p = sub.add_parser("run", help="run one experiment")
-    _add_experiment_args(run_p)
-    run_p.add_argument("--policy", default="ddio", help="placement policy name")
+    run_p = sub.add_parser(
+        "run",
+        help="run one experiment",
+        parents=[_workload_parent(), _policy_parent("ddio")],
+    )
     run_p.add_argument("--csv", help="export 10us timelines to CSV ('-' = stdout)")
     run_p.add_argument(
         "--timelines", action="store_true", help="print sparkline timelines"
     )
 
-    cmp_p = sub.add_parser("compare", help="run several policies on one workload")
-    _add_experiment_args(cmp_p)
+    cmp_p = sub.add_parser(
+        "compare",
+        help="run several policies on one workload",
+        parents=[_workload_parent(), _jobs_parent()],
+    )
     cmp_p.add_argument(
         "--policies",
         default="ddio,idio",
         help="comma-separated policy names (default: ddio,idio)",
     )
-    _add_jobs_arg(cmp_p)
 
-    fig_p = sub.add_parser("figure", help="reproduce a paper figure / extension")
+    fig_p = sub.add_parser(
+        "figure",
+        help="reproduce a paper figure / extension",
+        parents=[_jobs_parent()],
+    )
     fig_p.add_argument("name", choices=sorted(FIGURE_COMMANDS), help="figure id")
     fig_p.add_argument("--out", help="also write the report to this file")
     fig_p.add_argument(
         "--quick", action="store_true", help="reduced-scale smoke run"
     )
-    _add_jobs_arg(fig_p)
 
     val_p = sub.add_parser(
-        "validate", help="run the full reproduction scorecard (paper claims)"
+        "validate",
+        help="run the full reproduction scorecard (paper claims)",
+        parents=[_jobs_parent()],
     )
     val_p.add_argument(
         "--quick", action="store_true", help="reduced scale (~3x faster)"
     )
-    _add_jobs_arg(val_p)
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="run the fault-injection degradation matrix "
+        "(policy x fault layer x intensity)",
+        parents=[_workload_parent(), _jobs_parent()],
+    )
+    faults_p.add_argument(
+        "--policies",
+        default="ddio,idio",
+        help="comma-separated policy names (default: %(default)s)",
+    )
+    faults_p.add_argument(
+        "--layers",
+        default="nic,pcie,mem,cpu",
+        help="comma-separated fault layers (from nic,pcie,mem,cpu,all; "
+        "default: %(default)s)",
+    )
+    faults_p.add_argument(
+        "--intensities",
+        default="0,0.5,1",
+        help="comma-separated probability scale factors; 0 is the "
+        "fault-free baseline row (default: %(default)s)",
+    )
+    faults_p.add_argument(
+        "--checked",
+        action="store_true",
+        help="attach the invariant sanitizer to every faulted run",
+    )
+    faults_p.add_argument(
+        "--quick", action="store_true", help="reduced-scale smoke matrix"
+    )
+    faults_p.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-experiment wall-clock budget (pooled runs enforce it)",
+    )
+    faults_p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts for crashed experiments (default: %(default)s)",
+    )
+    faults_p.add_argument(
+        "--out", help="write the sweep's failure manifest JSON to this file"
+    )
 
     check_p = sub.add_parser(
         "check",
@@ -177,7 +245,9 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+def _jobs_parent() -> argparse.ArgumentParser:
+    """Shared ``--jobs`` vocabulary (parent parser, no help of its own)."""
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
         "--jobs",
         type=_positive_int,
@@ -185,10 +255,30 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for the experiment sweep (1 = serial)",
     )
+    return p
 
 
-def _add_experiment_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--app", default="touchdrop", choices=sorted(APP_FACTORIES))
+def _policy_parent(default: str) -> argparse.ArgumentParser:
+    """Shared ``--policy`` vocabulary with a per-subcommand default."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--policy", default=default, help="placement policy name")
+    return p
+
+
+def _workload_parent() -> argparse.ArgumentParser:
+    """Shared workload vocabulary: every experiment-running subcommand
+    accepts the same flags with the same defaults.  ``--workload`` and
+    ``--app`` are the same flag (``--app`` predates the unified
+    vocabulary and is kept as an alias)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--workload",
+        "--app",
+        dest="app",
+        default="touchdrop",
+        choices=sorted(APP_FACTORIES),
+        help="network function to run on the NF cores",
+    )
     p.add_argument("--ring", type=int, default=1024, help="RX ring size")
     p.add_argument("--packet-bytes", type=int, default=1514)
     p.add_argument(
@@ -206,6 +296,13 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
         default="run_to_completion",
     )
     p.add_argument("--nf-cores", type=int, default=2)
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for stochastic traffic and fault plans",
+    )
+    return p
 
 
 def _experiment_from_args(args: argparse.Namespace, policy_name: str) -> Experiment:
@@ -223,6 +320,7 @@ def _experiment_from_args(args: argparse.Namespace, policy_name: str) -> Experim
         name=f"cli-{policy_name}",
         server=server,
         traffic=args.traffic,
+        traffic_seed=args.seed,
         burst_rate_gbps=args.rate,
         num_bursts=args.bursts,
         steady_rate_gbps_per_nf=args.rate,
@@ -406,6 +504,126 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run the degradation matrix: policy x fault layer x intensity.
+
+    Each cell runs the shared workload under a
+    :func:`~repro.faults.plan.standard_plan` for one fault layer with the
+    per-event fault probabilities scaled by the cell's intensity
+    (intensity 0 is the fault-free baseline, run once per policy).  The
+    sweep goes through the resilient runner, so a crashed or wedged cell
+    is reported in the failure manifest instead of killing the matrix,
+    and the exit code reflects any losses.
+    """
+    import json
+
+    from .faults import FAULT_LAYERS, FaultPlan, standard_plan
+    from .harness.runner import run_sweep
+
+    names = [n.strip() for n in args.policies.split(",") if n.strip()]
+    layers = [l.strip() for l in args.layers.split(",") if l.strip()]
+    try:
+        intensities = [float(x) for x in args.intensities.split(",") if x.strip()]
+    except ValueError:
+        print(f"invalid --intensities {args.intensities!r}", file=sys.stderr)
+        return 2
+    if not names or not layers or not intensities:
+        print("empty --policies / --layers / --intensities", file=sys.stderr)
+        return 2
+    known = set(FAULT_LAYERS) | {"all"}
+    unknown = [l for l in layers if l not in known]
+    if unknown:
+        print(f"unknown fault layers {unknown}; choose from {sorted(known)}",
+              file=sys.stderr)
+        return 2
+
+    ring = 128 if args.quick else args.ring
+    rate = min(args.rate, 50.0) if args.quick else args.rate
+
+    def make_experiment(policy_name: str, label: str, plan: FaultPlan) -> Experiment:
+        server = ServerConfig(
+            policy=policies.policy_by_name(policy_name),
+            app=args.app,
+            ring_size=ring,
+            packet_bytes=args.packet_bytes,
+            antagonist=args.antagonist,
+            recycle_mode=args.recycle,
+            num_nf_cores=args.nf_cores,
+            checked_mode=args.checked,
+            fault_plan=plan,
+        )
+        return Experiment(
+            name=f"faults-{policy_name}-{label}",
+            server=server,
+            traffic=args.traffic,
+            traffic_seed=args.seed,
+            burst_rate_gbps=rate,
+            steady_rate_gbps_per_nf=rate,
+            steady_duration=units.microseconds(args.duration_us),
+        )
+
+    cells: List[tuple] = []  # (policy, layer label, intensity, Experiment)
+    for policy_name in names:
+        if any(i == 0 for i in intensities):
+            cells.append(
+                (policy_name, "none", 0.0,
+                 make_experiment(policy_name, "baseline", FaultPlan()))
+            )
+        for layer in layers:
+            for intensity in intensities:
+                if intensity == 0:
+                    continue
+                plan = standard_plan(layer, intensity, seed=args.seed)
+                cells.append(
+                    (policy_name, layer, intensity,
+                     make_experiment(policy_name, f"{layer}-{intensity:g}", plan))
+                )
+
+    sweep = run_sweep(
+        [exp for (_, _, _, exp) in cells],
+        jobs=args.jobs,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+    )
+
+    rows: List[List[object]] = []
+    for (policy_name, layer, intensity, _), summary, record in zip(
+        cells, sweep.summaries, sweep.records
+    ):
+        if summary is None:
+            rows.append([policy_name, layer, f"{intensity:g}", record.status,
+                         None, None, None, None])
+            continue
+        rows.append(
+            [
+                policy_name,
+                layer,
+                f"{intensity:g}",
+                record.status,
+                summary.completed,
+                summary.rx_drops,
+                (summary.p99_ns or 0) / 1000.0 if summary.p99_ns else None,
+                sum(summary.fault_counts.values()),
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "layer", "intensity", "status", "completed", "drops",
+             "p99 us", "faults"],
+            rows,
+            title=f"degradation matrix: {args.app} @ {rate:g} Gbps, ring {ring}",
+        )
+    )
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(sweep.counts().items()))
+    print(f"[{len(sweep.records)} cells: {counts}]")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(sweep.failure_manifest(), fh, indent=2)
+            fh.write("\n")
+        print(f"(failure manifest written to {args.out})")
+    return sweep.exit_code
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run the reference burst experiment with tracing; export Chrome JSON.
 
@@ -454,6 +672,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": cmd_validate,
         "check": cmd_check,
         "trace": cmd_trace,
+        "faults": cmd_faults,
     }
     return handlers[args.command](args)
 

@@ -121,6 +121,10 @@ class PollModeDriver:
         self.completed_packets: List = []
         self.batches = 0
         self._stopped = False
+        #: Optional CPU-layer fault injector (``repro.faults``): PMD stall
+        #: windows emulating scheduler preemption.  ``None`` keeps the
+        #: poll loop on its zero-cost fast path.
+        self.faults = None
         # Live subscriber list for batch-pickup events (trace recorders);
         # the event object is only built when somebody listens.
         self._batch_subs = core.hierarchy.bus.live(PmdBatchEvent)
@@ -152,6 +156,15 @@ class PollModeDriver:
     def _poll(self) -> None:
         if self._stopped:
             return
+        faults = self.faults
+        if faults is not None:
+            # A stalled PMD is scheduled out for the whole fault window:
+            # no polls, no batches — the ring backs up exactly as it would
+            # under real preemption (§II's software-stack pathologies).
+            resume = faults.stall_until(self.sim.now, self.core.core_id)
+            if resume > self.sim.now:
+                self.sim.schedule_at(resume, self._poll, "pmd-stalled")
+                return
         ring = self.queue.ring
         # Poll = read the descriptor at the CPU pointer.  The NIC's
         # descriptor writeback invalidated our cached copy, so packet

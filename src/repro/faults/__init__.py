@@ -1,0 +1,44 @@
+"""Seeded, deterministic fault injection for the whole pipeline.
+
+Declare *what goes wrong and when* as a :class:`FaultPlan` (a frozen,
+picklable schedule of :class:`FaultSpec` entries plus one master seed),
+hand it to :class:`~repro.harness.server.ServerConfig` via its
+``fault_plan`` field, and every layer of the simulated server — NIC,
+PCIe, memory, CPU — injects its faults deterministically, publishing a
+typed :class:`FaultEvent` per injection on the observability bus.
+``harness.*`` fault kinds drive the resilient sweep runner
+(:func:`repro.harness.runner.run_sweep`) instead of the simulation.
+
+See ``docs/api.md`` for the fault-injection guide and the
+``repro faults`` CLI for the policy x intensity degradation matrix.
+"""
+
+from .events import FaultEvent
+from .injectors import (
+    CpuFaults,
+    FaultInjectors,
+    MemFaults,
+    NicFaults,
+    PcieFaults,
+)
+from .plan import (
+    FAULT_KINDS,
+    FAULT_LAYERS,
+    FaultPlan,
+    FaultSpec,
+    standard_plan,
+)
+
+__all__ = [
+    "CpuFaults",
+    "FAULT_KINDS",
+    "FAULT_LAYERS",
+    "FaultEvent",
+    "FaultInjectors",
+    "FaultPlan",
+    "FaultSpec",
+    "MemFaults",
+    "NicFaults",
+    "PcieFaults",
+    "standard_plan",
+]

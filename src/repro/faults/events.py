@@ -1,0 +1,33 @@
+"""Typed fault events published on the observability bus.
+
+Every injected fault — a delayed writeback, a dropped packet, a flipped
+metadata bit — publishes exactly one :class:`FaultEvent` on the
+simulation's :class:`~repro.obs.bus.EventBus`.  The TraceRecorder renders
+them as instant events, the sanitizer uses them to widen its tolerances,
+and the harness counts them into ``ExperimentSummary.fault_counts`` so a
+degradation matrix can report how much adversity each cell actually saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One injected fault occurrence.
+
+    ``layer`` is the injecting subsystem (``"nic"``, ``"pcie"``,
+    ``"mem"``, ``"cpu"``), ``kind`` the full spec kind
+    (e.g. ``"nic.rx_drop_burst"``), ``now`` the simulated tick, and
+    ``detail`` a short human-readable note (magnitude applied, address
+    affected, ...).
+    """
+
+    layer: str
+    kind: str
+    now: int
+    detail: str
+
+
+__all__ = ["FaultEvent"]

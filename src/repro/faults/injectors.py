@@ -1,0 +1,418 @@
+"""Per-layer fault injectors driven by a :class:`~repro.faults.plan.FaultPlan`.
+
+Each simulated layer gets one injector object holding the layer's parsed
+fault windows and private RNG streams.  The pipeline components keep a
+``self.faults`` attribute that is ``None`` by default, so the hot path
+pays exactly one attribute load + ``is None`` test when no plan is
+installed (the same zero-cost pattern as hop recording).  When a plan is
+present, :class:`FaultInjectors` builds only the injectors whose layers
+actually have specs.
+
+Determinism contract: every random decision draws either from a
+``random.Random`` seeded with ``plan.rng_seed(spec_index)`` (event-order
+streams: the simulator's event order is itself deterministic) or from a
+per-occurrence derived seed (window gates: independent of query order).
+The same plan against the same experiment therefore produces identical
+fault decisions in-process, in a pool worker, and across hosts.
+
+Every injected fault publishes one :class:`~repro.faults.events.FaultEvent`
+on the server's EventBus — window-granular faults (stalls, starvation,
+spikes) publish once per window occurrence, event-granular faults (drops,
+jitter, corruption) once per affected event.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..obs.bus import EventBus
+from ..sim import units
+from .events import FaultEvent
+from .plan import FaultPlan, FaultSpec
+
+#: Stand-in for ``duration_us=None`` (active until the end of the run) —
+#: far beyond any reachable tick, but safe to add to without overflow.
+_FOREVER = 1 << 62
+
+
+class _Window:
+    """One :class:`FaultSpec` compiled to integer-tick schedule + RNG.
+
+    ``occurrence(now)`` maps a tick to the 0-based index of the active
+    window occurrence (always 0 for one-shot windows) or ``-1`` when the
+    fault is dormant.  ``gated(occ)`` applies the spec's probability once
+    per occurrence, with a draw derived from ``(seed, occ)`` so the
+    answer does not depend on which component asked first.
+    """
+
+    __slots__ = (
+        "kind",
+        "magnitude",
+        "probability",
+        "rng",
+        "start",
+        "span",
+        "period",
+        "_seed",
+        "_gate",
+        "_noted",
+    )
+
+    def __init__(self, spec: FaultSpec, seed: int) -> None:
+        self.kind = spec.kind
+        self.magnitude = spec.magnitude
+        self.probability = spec.probability
+        #: Event-order stream for per-event draws (drop? how much jitter?).
+        self.rng = random.Random(seed)
+        self.start = units.microseconds(spec.start_us)
+        self.span = (
+            _FOREVER
+            if spec.duration_us is None
+            else max(1, units.microseconds(spec.duration_us))
+        )
+        self.period = (
+            None if spec.period_us is None else units.microseconds(spec.period_us)
+        )
+        self._seed = seed
+        self._gate: Dict[int, bool] = {}
+        self._noted: Dict[Hashable, bool] = {}
+
+    def occurrence(self, now: int) -> int:
+        if now < self.start:
+            return -1
+        if self.period is None:
+            return 0 if now - self.start < self.span else -1
+        if (now - self.start) % self.period >= self.span:
+            return -1
+        return (now - self.start) // self.period
+
+    def occurrence_start(self, occ: int) -> int:
+        return self.start + (self.period or 0) * occ
+
+    def occurrence_end(self, occ: int) -> int:
+        return self.occurrence_start(occ) + self.span
+
+    def in_window(self, now: int) -> bool:
+        return self.occurrence(now) >= 0
+
+    def gated(self, occ: int) -> bool:
+        """Whether occurrence ``occ`` fires at all (probability gate)."""
+        if self.probability >= 1.0:
+            return True
+        hit = self._gate.get(occ)
+        if hit is None:
+            draw = random.Random((self._seed << 17) ^ (occ + 1)).random()
+            hit = draw < self.probability
+            self._gate[occ] = hit
+        return hit
+
+    def active(self, now: int) -> int:
+        """Gated occurrence index at ``now`` (-1 when dormant/gated off)."""
+        occ = self.occurrence(now)
+        if occ >= 0 and self.gated(occ):
+            return occ
+        return -1
+
+
+def _windows(plan: FaultPlan, kind: str) -> List[_Window]:
+    return [
+        _Window(spec, plan.rng_seed(i))
+        for i, spec in enumerate(plan.specs)
+        if spec.kind == kind
+    ]
+
+
+class _Injector:
+    """Shared FaultEvent emission (cached live-subscriber pattern)."""
+
+    __slots__ = ("_subs",)
+
+    layer = "?"
+
+    def __init__(self, bus: EventBus) -> None:
+        self._subs = bus.live(FaultEvent)
+
+    def _emit(self, kind: str, now: int, detail: str) -> None:
+        subs = self._subs
+        if subs:
+            event = FaultEvent(self.layer, kind, now, detail)
+            for fn in subs:
+                fn(event)
+
+    def _emit_once(self, w: _Window, key: Hashable, now: int, detail: str) -> None:
+        """Emit one event per window occurrence (``key`` includes occ)."""
+        if key not in w._noted:
+            w._noted[key] = True
+            self._emit(w.kind, now, detail)
+
+
+class NicFaults(_Injector):
+    """NIC-layer hooks, called from ``NIC.receive`` and the descriptor
+    writeback path."""
+
+    __slots__ = ("_jitter", "_drops", "_backpressure")
+
+    layer = "nic"
+
+    def __init__(self, plan: FaultPlan, bus: EventBus) -> None:
+        super().__init__(bus)
+        self._jitter = _windows(plan, "nic.desc_wb_jitter")
+        self._drops = _windows(plan, "nic.rx_drop_burst")
+        self._backpressure = _windows(plan, "nic.ring_backpressure")
+
+    def wb_extra_ticks(self, now: int) -> int:
+        """Extra descriptor-writeback delay (ticks) for one descriptor."""
+        extra = 0
+        for w in self._jitter:
+            if w.in_window(now) and w.rng.random() < w.probability:
+                jitter = units.nanoseconds(w.rng.random() * w.magnitude)
+                if jitter > 0:
+                    extra += jitter
+                    self._emit(
+                        w.kind,
+                        now,
+                        f"+{units.to_nanoseconds(jitter):.0f}ns writeback delay",
+                    )
+        return extra
+
+    def drop_rx(self, now: int) -> bool:
+        """Whether to force-drop the packet arriving at ``now``."""
+        for w in self._drops:
+            if w.in_window(now) and w.rng.random() < w.probability:
+                self._emit(w.kind, now, "forced RX drop")
+                return True
+        return False
+
+    def backpressure_drop(self, free_slots: int, now: int) -> bool:
+        """Whether withheld ring slots turn this arrival into a drop."""
+        held = 0
+        for w in self._backpressure:
+            if w.active(now) >= 0:
+                held += int(w.magnitude)
+        if held and free_slots <= held:
+            self._emit(
+                "nic.ring_backpressure",
+                now,
+                f"{held} ring slots withheld ({free_slots} free)",
+            )
+            return True
+        return False
+
+
+class PcieFaults(_Injector):
+    """PCIe-layer hooks, called from the DMA engine (link timing) and the
+    root complex (per-burst TLP order, per-line header words)."""
+
+    __slots__ = ("_delay", "_reorder", "_corrupt", "_meta_bits", "data_faults")
+
+    layer = "pcie"
+
+    def __init__(self, plan: FaultPlan, bus: EventBus) -> None:
+        super().__init__(bus)
+        # Imported here, not at module level: obs -> faults -> pcie ->
+        # mem -> obs would otherwise be a circular import chain.
+        from ..pcie.tlp import IDIO_METADATA_BITS
+
+        self._delay = _windows(plan, "pcie.tlp_delay")
+        self._reorder = _windows(plan, "pcie.tlp_reorder")
+        self._corrupt = _windows(plan, "pcie.meta_corrupt")
+        self._meta_bits = IDIO_METADATA_BITS
+        #: True when the root complex must take the per-line slow path.
+        self.data_faults = bool(self._reorder or self._corrupt)
+
+    def link_extra_ticks(self, now: int, num_lines: int) -> int:
+        """Extra link occupancy (ticks) charged to one DMA batch."""
+        extra = 0
+        for w in self._delay:
+            if w.in_window(now) and w.rng.random() < w.probability:
+                stall = units.nanoseconds(w.rng.random() * w.magnitude)
+                if stall > 0:
+                    extra += stall
+                    self._emit(
+                        w.kind,
+                        now,
+                        f"+{units.to_nanoseconds(stall):.0f}ns link occupancy "
+                        f"({num_lines}-line batch)",
+                    )
+        return extra
+
+    def permute_batch(
+        self,
+        addrs: Sequence[int],
+        tags: Optional[Sequence],
+        now: int,
+    ) -> Tuple[Sequence[int], Optional[Sequence]]:
+        """Legally reorder the write TLPs of one burst (same tick, same
+        link slot — only cache-fill order changes)."""
+        for w in self._reorder:
+            if (
+                len(addrs) > 1
+                and w.in_window(now)
+                and w.rng.random() < w.probability
+            ):
+                order = list(range(len(addrs)))
+                w.rng.shuffle(order)
+                addrs = [addrs[i] for i in order]
+                if tags is not None:
+                    tags = [tags[i] for i in order]
+                self._emit(w.kind, now, f"shuffled {len(order)}-TLP burst")
+        return addrs, tags
+
+    def corrupt_word(self, word: int, now: int) -> int:
+        """Possibly flip one IDIO reserved bit in an encoded TLP header."""
+        for w in self._corrupt:
+            if w.in_window(now) and w.rng.random() < w.probability:
+                bit = w.rng.choice(self._meta_bits)
+                word ^= 1 << bit
+                self._emit(w.kind, now, f"flipped TLP header bit {bit}")
+        return word
+
+
+class MemFaults(_Injector):
+    """Memory-layer hooks: DRAM latency spikes (pulled per access) and
+    DDIO-way starvation (pushed by a self-scheduling sim task)."""
+
+    __slots__ = ("_spikes", "_starve")
+
+    layer = "mem"
+
+    def __init__(self, plan: FaultPlan, bus: EventBus) -> None:
+        super().__init__(bus)
+        self._spikes = _windows(plan, "mem.dram_spike")
+        self._starve = _windows(plan, "mem.ddio_starve")
+
+    def dram_extra_ticks(self, now: int) -> int:
+        """Extra latency (ticks) for one DRAM access at ``now``."""
+        extra = 0
+        for w in self._spikes:
+            occ = w.active(now)
+            if occ >= 0:
+                extra += units.nanoseconds(w.magnitude)
+                self._emit_once(
+                    w, occ, now, f"+{w.magnitude:.0f}ns DRAM latency window"
+                )
+        return extra
+
+    def schedule_starvation(self, sim, llc) -> None:
+        """Install one :class:`DdioStarveTask` per starvation window."""
+        for w in self._starve:
+            DdioStarveTask(sim, llc, w, self)
+
+
+class DdioStarveTask:
+    """Self-scheduling simulator task that clamps the LLC's DDIO ways
+    inside each fault window and restores them at the window end.
+
+    Resident lines are untouched (``set_ddio_ways`` only rebuilds the
+    allocation masks), which models the real reprogramming of
+    ``IIO LLC WAYS`` — future inbound DMA fills contend for fewer ways.
+    """
+
+    __slots__ = ("_sim", "_llc", "_window", "_owner", "_orig", "_starved")
+
+    def __init__(self, sim, llc, window: _Window, owner: MemFaults) -> None:
+        self._sim = sim
+        self._llc = llc
+        self._window = window
+        self._owner = owner
+        self._orig = llc.ddio_ways
+        # magnitude = ways left while starved; clamp to a legal value.
+        self._starved = max(1, min(int(window.magnitude) or 1, self._orig))
+        first = max(window.occurrence_start(0), sim.now)
+        sim.schedule_at(first, self._begin, "fault-ddio-starve")
+
+    def _begin(self) -> None:
+        now = self._sim.now
+        w = self._window
+        occ = w.occurrence(now)
+        if occ < 0:
+            return
+        if w.gated(occ):
+            self._llc.set_ddio_ways(self._starved)
+            self._owner._emit(
+                w.kind, now, f"DDIO ways {self._orig} -> {self._starved}"
+            )
+            if w.span < _FOREVER:
+                self._sim.schedule_at(
+                    w.occurrence_end(occ), self._end, "fault-ddio-restore"
+                )
+            return
+        self._schedule_next(occ)
+
+    def _end(self) -> None:
+        self._llc.set_ddio_ways(self._orig)
+        w = self._window
+        occ = w.occurrence(self._sim.now - 1)
+        self._schedule_next(occ if occ >= 0 else 0)
+
+    def _schedule_next(self, occ: int) -> None:
+        if self._window.period is None:
+            return
+        self._sim.schedule_at(
+            self._window.occurrence_start(occ + 1), self._begin, "fault-ddio-starve"
+        )
+
+
+class CpuFaults(_Injector):
+    """CPU-layer hook: PMD stall windows (scheduler preemption).  The
+    poll-mode driver asks before each poll whether it is descheduled."""
+
+    __slots__ = ("_stalls",)
+
+    layer = "cpu"
+
+    def __init__(self, plan: FaultPlan, bus: EventBus) -> None:
+        super().__init__(bus)
+        self._stalls = _windows(plan, "cpu.pmd_stall")
+
+    def stall_until(self, now: int, core: int) -> int:
+        """Tick at which a stalled PMD core may poll again (``<= now``
+        means it is not stalled)."""
+        resume = now
+        for w in self._stalls:
+            occ = w.active(now)
+            if occ >= 0:
+                end = w.occurrence_end(occ)
+                if end > resume:
+                    resume = end
+                self._emit_once(
+                    w,
+                    (occ, core),
+                    now,
+                    f"core {core} PMD stalled for "
+                    f"{units.to_microseconds(end - now):.1f}us",
+                )
+        return resume
+
+
+class FaultInjectors:
+    """Every per-layer injector for one server, built from one plan.
+
+    Layers whose plan has no specs stay ``None`` so components keep their
+    zero-cost ``faults is None`` fast path even inside a faulted run.
+    """
+
+    __slots__ = ("plan", "nic", "pcie", "mem", "cpu")
+
+    def __init__(self, plan: FaultPlan, bus: EventBus) -> None:
+        self.plan = plan
+        self.nic = NicFaults(plan, bus) if plan.specs_for("nic") else None
+        self.pcie = PcieFaults(plan, bus) if plan.specs_for("pcie") else None
+        self.mem = MemFaults(plan, bus) if plan.specs_for("mem") else None
+        self.cpu = CpuFaults(plan, bus) if plan.specs_for("cpu") else None
+
+    def schedule_window_tasks(self, sim, llc) -> None:
+        """Install the push-style window tasks (DDIO starvation)."""
+        if self.mem is not None:
+            self.mem.schedule_starvation(sim, llc)
+
+
+__all__ = [
+    "CpuFaults",
+    "DdioStarveTask",
+    "FaultInjectors",
+    "MemFaults",
+    "NicFaults",
+    "PcieFaults",
+]

@@ -8,7 +8,14 @@ from .experiment import (
     run_experiment,
     run_policy_comparison,
 )
-from .runner import run_experiment_summary, run_experiments, run_named_experiments
+from .runner import (
+    SweepRecord,
+    SweepResult,
+    run_experiment_summary,
+    run_experiments,
+    run_named_experiments,
+    run_sweep,
+)
 from .server import APP_FACTORIES, ServerConfig, SimulatedServer
 
 __all__ = [
@@ -18,6 +25,8 @@ __all__ = [
     "ExperimentSummary",
     "ServerConfig",
     "SimulatedServer",
+    "SweepRecord",
+    "SweepResult",
     "extensions",
     "figures",
     "metrics",
@@ -27,6 +36,7 @@ __all__ = [
     "run_experiments",
     "run_named_experiments",
     "run_policy_comparison",
+    "run_sweep",
     "runner",
     "traces",
     "validation",

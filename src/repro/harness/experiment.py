@@ -117,6 +117,15 @@ class ExperimentSummary:
     events_fired: int
     wall_seconds: float
     events_per_second: float
+    #: Outcome assigned by the sweep runner: "ok" for a clean first-try
+    #: run, "retried" when a crash was retried successfully ("timeout"
+    #: and "failed" runs never produce a summary — see
+    #: :class:`repro.harness.runner.SweepRecord`).
+    status: str = "ok"
+    #: Worker attempts this summary took (1 unless the runner retried).
+    attempts: int = 1
+    #: Injected-fault counts by kind (empty for a fault-free run).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def p50_ns(self) -> Optional[float]:
@@ -212,6 +221,7 @@ class ExperimentSummary:
             self.bursts_detected,
             self.headers_steered,
             self.events_fired,
+            tuple(sorted(self.fault_counts.items())),
         )
 
 
@@ -347,6 +357,7 @@ class ExperimentResult:
             events_fired=server.sim.events_fired,
             wall_seconds=server.sim.wall_seconds,
             events_per_second=server.sim.events_per_second,
+            fault_counts=dict(server.fault_counts),
         )
 
     def drop_server(self) -> None:

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Sequence, Tuple
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .experiment import Experiment, ExperimentSummary, run_experiment
 
@@ -72,6 +75,277 @@ def run_experiments(
     finally:
         pool.close()
         pool.join()
+
+
+# ----------------------------------------------------------------------
+# resilient sweeps
+# ----------------------------------------------------------------------
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by a worker whose experiment carries a ``harness.crash``
+    fault — the deterministic stand-in for a worker that dies mid-sweep."""
+
+
+def _apply_harness_faults(experiment: Experiment, attempt: int) -> None:
+    """Execute the ``harness.*`` fault kinds for one worker attempt.
+
+    ``harness.crash`` raises before the simulation starts; ``magnitude``
+    is the number of attempts that crash (0 = every attempt, so the
+    experiment can never succeed).  ``harness.hang`` sleeps ``magnitude``
+    wall seconds, which is how the timeout path is tested without a real
+    wedge.  ``probability`` gates each fault with a draw derived from
+    ``(plan seed, spec index, attempt)`` so retries re-roll
+    deterministically.
+    """
+    plan = experiment.server.fault_plan
+    for i, spec in plan.specs_for("harness"):
+        if spec.probability < 1.0:
+            draw = random.Random((plan.rng_seed(i) << 7) ^ attempt).random()
+            if draw >= spec.probability:
+                continue
+        if spec.kind == "harness.crash":
+            crashing = int(spec.magnitude)
+            if crashing == 0 or attempt <= crashing:
+                raise InjectedCrash(
+                    f"injected worker crash (attempt {attempt})"
+                )
+        elif spec.kind == "harness.hang":
+            time.sleep(spec.magnitude)
+
+
+def _sweep_worker(job: Tuple[Experiment, int]) -> ExperimentSummary:
+    """Pool entry point: apply harness faults, then run one experiment."""
+    experiment, attempt = job
+    _apply_harness_faults(experiment, attempt)
+    return run_experiment_summary(experiment)
+
+
+@dataclass
+class SweepRecord:
+    """The fate of one experiment inside a resilient sweep."""
+
+    name: str
+    #: "ok", "retried" (succeeded after >= 1 crash), "timeout", "failed".
+    status: str
+    attempts: int
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "retried")
+
+
+@dataclass
+class SweepResult:
+    """Partial-result report of one sweep: every experiment is accounted
+    for, whether it produced a summary or not.
+
+    ``summaries[i]`` is ``None`` exactly when ``records[i]`` reports a
+    timeout or failure, so positional pairing with the input experiments
+    is preserved even through losses.
+    """
+
+    summaries: List[Optional[ExperimentSummary]] = field(default_factory=list)
+    records: List[SweepRecord] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        """``{status: count}`` over every record (absent statuses omitted)."""
+        out: Dict[str, int] = {}
+        for rec in self.records:
+            out[rec.status] = out.get(rec.status, 0) + 1
+        return out
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for rec in self.records if not rec.succeeded)
+
+    @property
+    def exit_code(self) -> int:
+        """0 = all succeeded; 1 = partial failure; 2 = nothing succeeded."""
+        if self.num_failed == 0:
+            return 0
+        if self.num_failed == len(self.records):
+            return 2
+        return 1
+
+    def failure_manifest(self) -> Dict[str, Any]:
+        """A JSON-able report of the sweep's losses (for CI artifacts)."""
+        return {
+            "total": len(self.records),
+            "counts": self.counts(),
+            "exit_code": self.exit_code,
+            "failures": [
+                {
+                    "name": rec.name,
+                    "status": rec.status,
+                    "attempts": rec.attempts,
+                    "error": rec.error,
+                    "wall_seconds": round(rec.wall_seconds, 3),
+                }
+                for rec in self.records
+                if not rec.succeeded
+            ],
+        }
+
+
+def _finish_summary(
+    summary: ExperimentSummary, attempts: int
+) -> Tuple[ExperimentSummary, SweepRecord]:
+    summary.status = "ok" if attempts == 1 else "retried"
+    summary.attempts = attempts
+    record = SweepRecord(
+        name=summary.experiment.name,
+        status=summary.status,
+        attempts=attempts,
+        wall_seconds=summary.wall_seconds,
+    )
+    return summary, record
+
+
+def _run_sweep_serial(
+    batch: Sequence[Experiment],
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+) -> SweepResult:
+    """In-process sweep with the same crash/retry semantics as the pool.
+
+    Timeouts are best-effort here: a run is marked ``timeout`` when its
+    wall time *exceeded* the budget (serial execution cannot interrupt a
+    wedged simulation the way the pool's ``get(timeout)`` can).
+    """
+    result = SweepResult()
+    for exp in batch:
+        attempts = 0
+        start = time.perf_counter()
+        while True:
+            attempts += 1
+            try:
+                summary = _sweep_worker((exp, attempts))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                if attempts <= retries:
+                    time.sleep(retry_backoff_s * attempts)
+                    continue
+                result.summaries.append(None)
+                result.records.append(
+                    SweepRecord(
+                        name=exp.name,
+                        status="failed",
+                        attempts=attempts,
+                        error=f"{type(exc).__name__}: {exc}",
+                        wall_seconds=time.perf_counter() - start,
+                    )
+                )
+                break
+            wall = time.perf_counter() - start
+            if timeout_s is not None and wall > timeout_s:
+                result.summaries.append(None)
+                result.records.append(
+                    SweepRecord(
+                        name=exp.name,
+                        status="timeout",
+                        attempts=attempts,
+                        error=f"exceeded {timeout_s}s budget",
+                        wall_seconds=wall,
+                    )
+                )
+                break
+            summary, record = _finish_summary(summary, attempts)
+            record.wall_seconds = wall
+            result.summaries.append(summary)
+            result.records.append(record)
+            break
+    return result
+
+
+def run_sweep(
+    experiments: Iterable[Experiment],
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    retry_backoff_s: float = 0.05,
+) -> SweepResult:
+    """Run a sweep that survives crashed, hung, and failing experiments.
+
+    Unlike :func:`run_experiments` (which propagates the first worker
+    exception and loses the whole batch), every experiment here resolves
+    to a :class:`SweepRecord`: crashes are retried up to ``retries``
+    extra attempts with linear backoff, a worker that exceeds
+    ``timeout_s`` wall seconds is abandoned and reported as ``timeout``,
+    and the rest of the sweep completes regardless.  ``jobs``/``jobs=None``
+    follow :func:`run_experiments`; a host without process pools degrades
+    to the serial path (where timeouts are detected after the fact rather
+    than enforced).
+    """
+    batch = list(experiments)
+    if jobs is None:
+        jobs = default_jobs()
+    if not batch:
+        return SweepResult()
+    if jobs <= 1:
+        return _run_sweep_serial(batch, timeout_s, retries, retry_backoff_s)
+    try:
+        pool = multiprocessing.get_context().Pool(min(jobs, len(batch)))
+    except (OSError, PermissionError, ValueError):
+        return _run_sweep_serial(batch, timeout_s, retries, retry_backoff_s)
+
+    result = SweepResult()
+    timed_out = False
+    try:
+        pending = [pool.apply_async(_sweep_worker, ((exp, 1),)) for exp in batch]
+        for exp, handle in zip(batch, pending):
+            attempts = 1
+            start = time.perf_counter()
+            while True:
+                try:
+                    summary = handle.get(timeout_s)
+                except multiprocessing.TimeoutError:
+                    # The worker is still wedged in its pool slot; the
+                    # pool is terminated (not joined) once all results
+                    # are accounted for.
+                    timed_out = True
+                    result.summaries.append(None)
+                    result.records.append(
+                        SweepRecord(
+                            name=exp.name,
+                            status="timeout",
+                            attempts=attempts,
+                            error=f"no result within {timeout_s}s",
+                            wall_seconds=time.perf_counter() - start,
+                        )
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    if attempts <= retries:
+                        time.sleep(retry_backoff_s * attempts)
+                        attempts += 1
+                        handle = pool.apply_async(_sweep_worker, ((exp, attempts),))
+                        continue
+                    result.summaries.append(None)
+                    result.records.append(
+                        SweepRecord(
+                            name=exp.name,
+                            status="failed",
+                            attempts=attempts,
+                            error=f"{type(exc).__name__}: {exc}",
+                            wall_seconds=time.perf_counter() - start,
+                        )
+                    )
+                    break
+                summary, record = _finish_summary(summary, attempts)
+                record.wall_seconds = time.perf_counter() - start
+                result.summaries.append(summary)
+                result.records.append(record)
+                break
+    finally:
+        if timed_out:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+    return result
 
 
 def run_named_experiments(

@@ -43,6 +43,7 @@ from ..cpu.dpdk import AntagonistDriver, PollModeDriver
 from ..cpu.maintenance import MaintenanceUnit
 from ..cpu.mempool import BufferPool
 from ..cpu.pagetable import PageTable
+from ..faults import FaultEvent, FaultInjectors, FaultPlan
 from ..mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..mem.line import num_lines
 from ..mem.stats import StatsBundle
@@ -124,6 +125,10 @@ class ServerConfig:
     checked_mode: bool = False
     #: Transactions between two structural-barrier sweeps in checked mode.
     checked_barrier_interval: int = 4096
+    #: Seeded fault schedule (``repro.faults``).  The default empty plan
+    #: leaves every layer on its zero-cost fast path; ``harness.*`` kinds
+    #: are interpreted by the sweep runner, not the server.
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
 
     def app_for_core(self, core: int) -> str:
         if self.apps is None:
@@ -214,6 +219,18 @@ class SimulatedServer:
                 barrier_interval=config.checked_barrier_interval,
             ).attach()
 
+        #: Per-layer fault injectors (``fault_plan``) plus a per-kind
+        #: injection counter; both stay empty for the default plan.
+        self.fault_injectors: Optional[FaultInjectors] = None
+        self.fault_counts: Dict[str, int] = {}
+        if not config.fault_plan.is_empty:
+            self.hierarchy.bus.subscribe(FaultEvent, self._count_fault)
+            self.fault_injectors = FaultInjectors(
+                config.fault_plan, self.hierarchy.bus
+            )
+            if self.sanitizer is not None:
+                self.sanitizer.register_faults(config.fault_plan)
+
         if config.nf_cat_ways is not None:
             # Restrict NF-core fills to the first nf_cat_ways non-DDIO ways.
             allowed = list(
@@ -244,6 +261,19 @@ class SimulatedServer:
             self.nics.append(NIC(self.sim, dma, nic_config))
         self.nic = self.nics[0]  # primary port (back-compat accessor)
         self.dma = self.dmas[0]
+
+        if self.fault_injectors is not None:
+            fi = self.fault_injectors
+            if fi.nic is not None:
+                for nic in self.nics:
+                    nic.faults = fi.nic
+            if fi.pcie is not None:
+                self.root_complex.faults = fi.pcie
+                for dma in self.dmas:
+                    dma.faults = fi.pcie
+            if fi.mem is not None:
+                self.hierarchy.dram.faults = fi.mem
+            fi.schedule_window_tasks(self.sim, self.hierarchy.llc)
 
         self.controller: Optional[IDIOController] = None
         self.iat_controller: Optional[IATController] = None
@@ -342,6 +372,8 @@ class SimulatedServer:
                     )
             if self.sanitizer is not None and buffer_pool is not None:
                 self.sanitizer.register_pool(buffer_pool)
+            if self.fault_injectors is not None:
+                driver.faults = self.fault_injectors.cpu
             self.apps.append(app)
             self.drivers.append(driver)
             self.generators.append(
@@ -362,6 +394,10 @@ class SimulatedServer:
             )
 
         self._started = False
+
+    def _count_fault(self, event: FaultEvent) -> None:
+        counts = self.fault_counts
+        counts[event.kind] = counts.get(event.kind, 0) + 1
 
     # ------------------------------------------------------------------
     # experiment control

@@ -36,6 +36,10 @@ class DRAM:
         self.latency = latency
         self.peak_gbps = peak_gbps
         self.name = name
+        #: Optional memory-layer fault injector (``repro.faults``): adds
+        #: transient latency spikes to every access while a spike window
+        #: is active.  ``None`` keeps reads/writes on the fast path.
+        self.faults = None
         self._next_free = 0
         if peak_gbps is not None:
             self._service_time = units.transfer_time(LINE_SIZE, peak_gbps)
@@ -53,12 +57,18 @@ class DRAM:
     def read(self, addr: int, now: int) -> int:
         """Perform a line read; returns total latency in ticks."""
         self.stats.bump("dram_reads", now)
-        return self.latency + self._service(now)
+        latency = self.latency + self._service(now)
+        if self.faults is not None:
+            latency += self.faults.dram_extra_ticks(now)
+        return latency
 
     def write(self, addr: int, now: int) -> int:
         """Perform a line write; returns total latency in ticks."""
         self.stats.bump("dram_writes", now)
-        return self.latency + self._service(now)
+        latency = self.latency + self._service(now)
+        if self.faults is not None:
+            latency += self.faults.dram_extra_ticks(now)
+        return latency
 
     @property
     def reads(self) -> int:
@@ -146,11 +156,17 @@ class BankedDRAM(DRAM):
 
     def read(self, addr: int, now: int) -> int:
         self.stats.bump("dram_reads", now)
-        return self._access(addr, now)
+        latency = self._access(addr, now)
+        if self.faults is not None:
+            latency += self.faults.dram_extra_ticks(now)
+        return latency
 
     def write(self, addr: int, now: int) -> int:
         self.stats.bump("dram_writes", now)
-        return self._access(addr, now)
+        latency = self._access(addr, now)
+        if self.faults is not None:
+            latency += self.faults.dram_extra_ticks(now)
+        return latency
 
     def row_hit_rate(self) -> float:
         hits = self.stats.counters.get("dram_row_hits")

@@ -14,7 +14,9 @@ single typed entry point:
 The legacy convenience methods (:meth:`cpu_access`, :meth:`pcie_write`,
 :meth:`pcie_read`, :meth:`prefetch_fill`, :meth:`invalidate`) remain as
 thin constructors that build a transaction and run it through
-:meth:`access`; all traffic flows through the same path.
+:meth:`access`; all traffic flows through the same path.  They are
+deprecated: new code should construct the :class:`MemoryTransaction`
+itself (simlint's SIM005 flags wrapper calls outside ``repro.mem``).
 
 Observability is a typed pub/sub bus (:class:`repro.obs.bus.EventBus`):
 the hierarchy publishes :class:`~repro.obs.events.MlcWritebackEvent` /
@@ -27,6 +29,7 @@ subscriber like everyone else.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -679,8 +682,19 @@ class MemoryHierarchy:
     # legacy convenience entry points (thin wrappers over access())
     # ------------------------------------------------------------------
 
+    def _warn_legacy(self, name: str, replacement: str) -> None:
+        warnings.warn(
+            f"MemoryHierarchy.{name}() is deprecated; construct a "
+            f"MemoryTransaction({replacement}, ...) and call access(txn) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def cpu_access(self, core: int, addr: int, is_write: bool, now: int) -> AccessResult:
-        """A demand load/store from ``core``; returns latency and hit level."""
+        """Deprecated. A demand load/store from ``core``; returns latency
+        and hit level."""
+        self._warn_legacy("cpu_access", "CPU_STORE/CPU_LOAD")
         txn = MemoryTransaction(
             CPU_STORE if is_write else CPU_LOAD, addr, now, core=core
         )
@@ -688,25 +702,29 @@ class MemoryHierarchy:
         return AccessResult(txn.latency, txn.level or "dram")
 
     def pcie_write(self, addr: int, now: int, placement: str = "llc") -> int:
-        """A full-cacheline inbound DMA write; returns the latency."""
+        """Deprecated. A full-cacheline inbound DMA write; returns the latency."""
+        self._warn_legacy("pcie_write", "DMA_WRITE")
         txn = MemoryTransaction(DMA_WRITE, addr, now, placement=placement)
         self.access(txn)
         return txn.latency
 
     def pcie_read(self, addr: int, now: int) -> int:
-        """An outbound DMA read (NIC TX); returns the transaction latency."""
+        """Deprecated. An outbound DMA read (NIC TX); returns the latency."""
+        self._warn_legacy("pcie_read", "DMA_READ")
         txn = MemoryTransaction(DMA_READ, addr, now)
         self.access(txn)
         return txn.latency
 
     def prefetch_fill(self, core: int, addr: int, now: int) -> bool:
-        """MLC prefetch; returns ``True`` when a fill actually happened."""
+        """Deprecated. MLC prefetch; ``True`` when a fill actually happened."""
+        self._warn_legacy("prefetch_fill", "PREFETCH_FILL")
         txn = MemoryTransaction(PREFETCH_FILL, addr, now, core=core)
         self.access(txn)
         return txn.level != "dropped"
 
     def invalidate(self, core: int, addr: int, now: int, scope: str = "all") -> None:
-        """Invalidate-without-writeback of one line (see :meth:`access`)."""
+        """Deprecated. Invalidate-without-writeback of one line."""
+        self._warn_legacy("invalidate", "INVALIDATE")
         self.access(MemoryTransaction(INVALIDATE, addr, now, core=core, scope=scope))
 
     # ------------------------------------------------------------------

@@ -34,6 +34,8 @@ class DMAEngine:
         self._link_free = 0
         self.lines_written = 0
         self.lines_read = 0
+        #: Optional PCIe-layer fault injector (``repro.faults``).
+        self.faults = None
 
     def _occupy_link(self, num_lines: int) -> int:
         """Reserve link time for ``num_lines``; returns the completion tick."""
@@ -61,6 +63,11 @@ class DMAEngine:
                 f"got {len(tags)} tags for {len(lines)} lines at {buffer_addr:#x}"
             )
         finish = self._occupy_link(len(lines))
+        if self.faults is not None:
+            stall = self.faults.link_extra_ticks(self.sim.now, len(lines))
+            if stall:
+                finish += stall
+                self._link_free += stall
 
         def do_writes() -> None:
             # One batched root-complex call per buffer: each line is still
@@ -84,6 +91,11 @@ class DMAEngine:
         """DMA-read ``num_bytes`` (the TX path); returns the completion tick."""
         lines = list(lines_spanning(buffer_addr, num_bytes))
         finish = self._occupy_link(len(lines))
+        if self.faults is not None:
+            stall = self.faults.link_extra_ticks(self.sim.now, len(lines))
+            if stall:
+                finish += stall
+                self._link_free += stall
 
         def do_reads() -> None:
             self.root_complex.memory_read_batch(lines)

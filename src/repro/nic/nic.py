@@ -90,6 +90,9 @@ class NIC:
         self.total_rx = 0
         self.total_drops = 0
         self.total_tx = 0
+        #: Optional NIC-layer fault injector (``repro.faults``); ``None``
+        #: keeps the RX path on its zero-cost fast path.
+        self.faults = None
 
     # -- setup ----------------------------------------------------------
 
@@ -137,6 +140,15 @@ class NIC:
         queue = self._core_to_queue.get(core)
         if queue is None:
             raise ValueError(f"no queue pinned to core {core} for {packet.flow}")
+
+        faults = self.faults
+        if faults is not None and (
+            faults.drop_rx(self.sim.now)
+            or faults.backpressure_drop(queue.ring.free_slots(), self.sim.now)
+        ):
+            queue.rx_drops += 1
+            self.total_drops += 1
+            return False
 
         burst_active = False
         if self.classifier is not None:
@@ -191,9 +203,10 @@ class NIC:
                 on_complete=lambda: queue.ring.complete(desc),
             )
 
-        self.sim.schedule_after(
-            self.config.descriptor_writeback_delay, do_writeback, "desc-wb"
-        )
+        delay = self.config.descriptor_writeback_delay
+        if self.faults is not None:
+            delay += self.faults.wb_extra_ticks(self.sim.now)
+        self.sim.schedule_after(delay, do_writeback, "desc-wb")
 
     # -- TX path ----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from ..faults.events import FaultEvent
 from ..mem.transaction import (
     DMA_WRITE,
     INVALIDATE,
@@ -35,6 +36,7 @@ from .events import LlcWritebackEvent, MlcWritebackEvent, PmdBatchEvent
 #: Stable Chrome-trace thread ids, one lane per component.
 _COMPONENT_TIDS = {"l1": 1, "mlc": 2, "llc": 3, "dram": 4, "directory": 5}
 _EVENT_TID = 6  # writebacks / PMD batches
+_FAULT_TID = 7  # injected faults (repro.faults)
 
 
 def categorize(txn: MemoryTransaction, hop: Hop) -> str:
@@ -86,6 +88,7 @@ class TraceRecorder:
         bus.subscribe(MlcWritebackEvent, self.on_mlc_writeback)
         bus.subscribe(LlcWritebackEvent, self.on_llc_writeback)
         bus.subscribe(PmdBatchEvent, self.on_pmd_batch)
+        bus.subscribe(FaultEvent, self.on_fault)
         self._hierarchy = hierarchy
         self._bus = bus
         hierarchy.record_hops = True
@@ -99,6 +102,7 @@ class TraceRecorder:
         self._bus.unsubscribe(MlcWritebackEvent, self.on_mlc_writeback)
         self._bus.unsubscribe(LlcWritebackEvent, self.on_llc_writeback)
         self._bus.unsubscribe(PmdBatchEvent, self.on_pmd_batch)
+        self._bus.unsubscribe(FaultEvent, self.on_fault)
         if self._hierarchy is not None and not self._bus.has_subscribers(
             MemoryTransaction
         ):
@@ -146,6 +150,24 @@ class TraceRecorder:
     def on_pmd_batch(self, event: PmdBatchEvent) -> None:
         self._instant(
             f"pmd-batch-c{event.core} ({event.size})", "pmd-batch", event.now
+        )
+
+    def on_fault(self, event: FaultEvent) -> None:
+        """Injected faults get their own lane, categorized by fault kind,
+        so degradation in the component lanes can be read against the
+        exact injection times that caused it."""
+        self.category_counts[event.kind] = self.category_counts.get(event.kind, 0) + 1
+        self._emit(
+            {
+                "name": event.kind,
+                "cat": event.kind,
+                "ph": "i",
+                "s": "g",
+                "ts": units.to_microseconds(event.now),
+                "pid": 0,
+                "tid": _FAULT_TID,
+                "args": {"layer": event.layer, "detail": event.detail},
+            }
         )
 
     def _instant(self, name: str, category: str, now: int) -> None:
@@ -206,6 +228,15 @@ class TraceRecorder:
                 "pid": 0,
                 "tid": _EVENT_TID,
                 "args": {"name": "events"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": _FAULT_TID,
+                "args": {"name": "faults"},
             }
         )
         return {

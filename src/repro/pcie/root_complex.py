@@ -39,6 +39,10 @@ class RootComplex:
         self.sim = sim
         self.hierarchy = hierarchy
         self.steering_hook = steering_hook
+        #: Optional PCIe-layer fault injector (``repro.faults``); the
+        #: batch entry point only leaves its fast path when the injector
+        #: carries data-plane faults (TLP reorder / header corruption).
+        self.faults = None
 
     def attach_controller(self, hook: SteeringHook) -> None:
         """Install (or replace) the IDIO controller's data-plane hook."""
@@ -82,6 +86,10 @@ class RootComplex:
         encode/decode pair is memoized on the handful of distinct tags a
         run produces.  This is the RX data path's hottest entry point.
         """
+        faults = self.faults
+        if faults is not None and faults.data_faults:
+            self._memory_write_batch_faulted(addrs, tags)
+            return
         now = self.sim.now
         hook = self.steering_hook
         access = self.hierarchy.access
@@ -102,6 +110,34 @@ class RootComplex:
             return
         for addr, raw_tag in zip(addrs, tags):
             tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(raw_tag))
+            placement = hook(tag, addr, now) if hook is not None else "llc"
+            access(
+                MemoryTransaction(DMA_WRITE, addr, now, tag.dest_core, tag, placement)
+            )
+
+    def _memory_write_batch_faulted(
+        self,
+        addrs: Sequence[int],
+        tags: Optional[Sequence[IdioTag]],
+    ) -> None:
+        """Per-line slow path used only when TLP reorder/corruption
+        faults are installed.
+
+        The burst may be legally permuted, and each line's encoded header
+        word may have an IDIO reserved bit flipped *before* the decode
+        the steering path relies on — exactly the adversity the Fig. 7
+        in-band transport must tolerate (a corrupted tag steers a line to
+        the wrong place; it must never crash the pipeline).
+        """
+        now = self.sim.now
+        faults = self.faults
+        hook = self.steering_hook
+        access = self.hierarchy.access
+        addrs, tags = faults.permute_batch(addrs, tags, now)
+        for i, addr in enumerate(addrs):
+            raw_tag = tags[i] if tags is not None else _UNTAGGED
+            word = faults.corrupt_word(_MWR_FMT_TYPE | encode_idio_bits(raw_tag), now)
+            tag = decode_idio_bits(word)
             placement = hook(tag, addr, now) if hook is not None else "llc"
             access(
                 MemoryTransaction(DMA_WRITE, addr, now, tag.dest_core, tag, placement)

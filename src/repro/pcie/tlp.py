@@ -29,9 +29,14 @@ APP_CLASS1_CORE_CODE = (1 << len(DEST_CORE_BITS)) - 1
 #: Maximum addressable core number (63 is reserved for appClass 1).
 MAX_DEST_CORE = APP_CLASS1_CORE_CODE - 1
 
-_IDIO_MASK = (
-    (1 << HEADER_FLAG_BIT) | (1 << BURST_FLAG_BIT) | sum(1 << b for b in DEST_CORE_BITS)
+#: Every reserved-bit position IDIO repurposes, in descending order.  The
+#: fault injector flips bits drawn from this tuple to model corrupted
+#: metadata that the decode path must tolerate.
+IDIO_METADATA_BITS = tuple(
+    sorted((HEADER_FLAG_BIT, BURST_FLAG_BIT) + DEST_CORE_BITS, reverse=True)
 )
+
+_IDIO_MASK = sum(1 << b for b in IDIO_METADATA_BITS)
 
 
 @dataclass(frozen=True, slots=True)

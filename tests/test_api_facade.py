@@ -1,0 +1,97 @@
+"""Tests for the stable facade (``repro.api``) and the wrapper deprecations.
+
+The contract under test: everything a downstream user needs lives behind
+``import repro`` (round-trip an experiment without one deep import), the
+top-level namespace re-exports exactly the facade, and the legacy
+``MemoryHierarchy`` convenience wrappers warn on every call while still
+behaving identically to ``access(txn)``.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+
+
+class TestFacadeSurface:
+    def test_top_level_reexports_exactly_the_facade(self):
+        assert list(repro.__all__) == list(repro.api.__all__)
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_version_is_pep440ish(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_fault_types_are_the_canonical_ones(self):
+        from repro.faults import FaultEvent, FaultPlan, FaultSpec
+
+        assert repro.FaultPlan is FaultPlan
+        assert repro.FaultSpec is FaultSpec
+        assert repro.FaultEvent is FaultEvent
+
+    def test_round_trip_without_deep_imports(self):
+        """A full faulted experiment, driven only through ``repro``."""
+        plan = repro.standard_plan("nic", intensity=0.5, seed=1)
+        exp = repro.Experiment(
+            name="facade",
+            server=repro.ServerConfig(
+                app="touchdrop", ring_size=128, fault_plan=plan
+            ),
+            burst_rate_gbps=25.0,
+        ).with_policy(repro.idio())
+        summary = repro.run_experiment(exp).summary()
+        assert isinstance(summary, repro.ExperimentSummary)
+        assert summary.completed > 0
+
+    def test_build_server_returns_unstarted_server(self):
+        server = repro.build_server(repro.ServerConfig(app="touchdrop"))
+        assert isinstance(server, repro.SimulatedServer)
+        assert server.sim.now == 0
+
+    def test_run_sweep_reachable_from_facade(self):
+        exp = repro.Experiment(
+            name="facade-sweep",
+            server=repro.ServerConfig(app="touchdrop", ring_size=128),
+            burst_rate_gbps=25.0,
+        )
+        sweep = repro.run_sweep([exp], jobs=1)
+        assert isinstance(sweep, repro.SweepResult)
+        assert sweep.exit_code == 0
+
+
+class TestLegacyWrapperDeprecation:
+    def _hierarchy(self):
+        from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+
+        return MemoryHierarchy(HierarchyConfig())
+
+    ADDR = 0x4000
+
+    def test_all_five_wrappers_warn(self):
+        h = self._hierarchy()
+        calls = [
+            ("pcie_write", (self.ADDR, 0)),
+            ("pcie_read", (self.ADDR, 0)),
+            ("cpu_access", (0, self.ADDR, False, 0)),
+            ("prefetch_fill", (0, self.ADDR, 0)),
+            ("invalidate", (0, self.ADDR, 0)),
+        ]
+        for name, args in calls:
+            with pytest.warns(DeprecationWarning, match=rf"MemoryHierarchy\.{name}"):
+                getattr(h, name)(*args)
+
+    def test_warning_names_the_replacement(self):
+        h = self._hierarchy()
+        with pytest.warns(DeprecationWarning, match="access\\(txn\\)"):
+            h.pcie_write(self.ADDR, 0)
+
+    def test_wrapper_still_behaves_like_access(self):
+        """Deprecated != broken: the wrapper must keep its semantics."""
+        h = self._hierarchy()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            h.pcie_write(self.ADDR, 0)
+        assert h.llc.peek(self.ADDR) is not None

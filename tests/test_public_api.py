@@ -6,6 +6,9 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
+    "repro.api",
+    "repro.faults",
     "repro.sim",
     "repro.mem",
     "repro.net",

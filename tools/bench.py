@@ -54,6 +54,30 @@ def _bench_burst_reference() -> dict:
     }
 
 
+def _bench_burst_faulted() -> dict:
+    # The reference burst under the all-layer standard fault plan at
+    # half intensity: measures the overhead of live injection + fault
+    # events on the hot path (informational until a baseline lands).
+    from repro.faults import standard_plan  # noqa: E402
+    from repro.harness.server import ServerConfig  # noqa: E402
+
+    exp = Experiment(
+        name="bench-faulted",
+        server=ServerConfig(fault_plan=standard_plan("all", intensity=0.5)),
+        burst_rate_gbps=100.0,
+    )
+    start = time.perf_counter()
+    summary = run_experiment_summary(exp)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "events": summary.events_fired,
+        "events_per_second": summary.events_fired / wall if wall > 0 else 0.0,
+        "completed_packets": summary.completed,
+        "faults_injected": sum(summary.fault_counts.values()),
+    }
+
+
 def _bench_fig10_quick(jobs: int) -> dict:
     start = time.perf_counter()
     report = figures.fig10(
@@ -72,6 +96,7 @@ def _bench_fig10_quick(jobs: int) -> dict:
 
 WORKLOADS = {
     "burst_reference": _bench_burst_reference,
+    "burst_faulted": _bench_burst_faulted,
     "fig10_quick_jobs1": lambda: _bench_fig10_quick(1),
     "fig10_quick_jobs4": lambda: _bench_fig10_quick(4),
 }
