@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .core import policies
 from .harness import extensions, figures
 from .harness.experiment import Experiment, run_experiment
-from .harness.runner import run_experiments
+from .harness.runner import run_experiments, shutdown_pool
 from .harness.report import format_table, timeline_block
 from .harness.server import APP_FACTORIES, ServerConfig
 from .harness.traces import export_csv, to_csv_string
@@ -674,7 +674,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": cmd_trace,
         "faults": cmd_faults,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    finally:
+        # Every parallel sweep in the invocation shared one warm pool;
+        # drain it on the way out (idempotent when nothing spawned).
+        shutdown_pool()
 
 
 if __name__ == "__main__":

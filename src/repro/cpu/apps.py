@@ -28,6 +28,7 @@ from typing import Optional
 
 from ..mem.line import LINE_SIZE, lines_spanning
 from ..net.packet import APP_CLASS_LONG_USE, APP_CLASS_SHORT_USE, HEADER_BYTES, Packet
+from ..sim import units
 from .core import Core
 
 
@@ -87,12 +88,22 @@ class TouchDrop(NetworkFunction):
 
     def process(self, core: Core, packet: Packet) -> int:
         assert packet.buffer_addr is not None, "packet was never DMA-ed"
-        latency = core.compute(self.cost.base_cycles)
+        cost = self.cost
+        latency = core.compute(cost.base_cycles)
+        # The per-line touch cost is a constant: convert it once and batch
+        # the compute-tick accounting after the loop instead of calling
+        # core.compute() per cacheline (this loop touches every line of
+        # every received packet — the hottest application loop there is).
+        touch_ticks = units.cycles(cost.touch_cycles_per_line, core.freq_ghz)
+        overlap = cost.mem_overlap
+        mem_read = core.mem_read
+        touched = 0
         for addr in lines_spanning(packet.buffer_addr, packet.size_bytes):
             # Streaming touch loop: line fetches overlap (MLP), so only the
             # effective (divided) stall is charged to the packet.
-            latency += int(core.mem_read(addr) / self.cost.mem_overlap)
-            latency += core.compute(self.cost.touch_cycles_per_line)
+            latency += int(mem_read(addr) / overlap) + touch_ticks
+            touched += 1
+        core.stats.compute_ticks += touch_ticks * touched
         self.packets_processed += 1
         self.bytes_processed += packet.size_bytes
         return latency

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..mem.hierarchy import AccessResult, MemoryHierarchy
-from ..mem.transaction import CPU_LOAD, CPU_STORE, MemoryTransaction
+from ..mem.transaction import CPU_LOAD, CPU_STORE, _LINE_MASK, MemoryTransaction
 from ..sim import Simulator, units
 
 
@@ -60,20 +60,50 @@ class Core:
         self.hierarchy = hierarchy
         self.freq_ghz = freq_ghz
         self.stats = CoreStats()
+        # Scratch transaction for demand accesses.  A core issues one
+        # access at a time and the hierarchy executes it synchronously,
+        # so when nothing retains completed transactions (no hop
+        # recording, no transaction subscribers) the same object is
+        # re-initialized per access instead of allocated, and the demand
+        # handler is invoked directly — with no subscribers the access()
+        # wrapper's dispatch and publication are both no-ops.
+        self._scratch_txn = MemoryTransaction(CPU_LOAD, 0, 0, core=core_id)
+
+    def _issue(self, kind: str, addr: int) -> int:
+        """Issue one demand access; returns its latency in ticks.
+
+        Body of :meth:`mem_read`/:meth:`mem_write` with the transaction
+        construction and stats recording inlined (one call per touched
+        cacheline — the hottest application-side path in the simulator).
+        """
+        hierarchy = self.hierarchy
+        if hierarchy.record_hops or hierarchy._txn_subs:
+            txn = MemoryTransaction(kind, addr, self.sim.now, core=self.core_id)
+            hierarchy.access(txn)
+        else:
+            txn = self._scratch_txn
+            txn.kind = kind
+            txn.addr = addr & _LINE_MASK
+            txn.now = self.sim._now
+            txn.latency = 0
+            txn.level = None
+            hierarchy._run_cpu(txn)
+        st = self.stats
+        st.mem_accesses += 1
+        latency = txn.latency
+        st.mem_ticks += latency
+        hits = st.hits_by_level
+        level = txn.level
+        hits[level] = hits.get(level, 0) + 1
+        return latency
 
     def mem_read(self, addr: int) -> int:
         """Issue a demand load; returns its latency in ticks."""
-        txn = MemoryTransaction(CPU_LOAD, addr, self.sim.now, core=self.core_id)
-        self.hierarchy.access(txn)
-        self.stats.record(txn)
-        return txn.latency
+        return self._issue(CPU_LOAD, addr)
 
     def mem_write(self, addr: int) -> int:
         """Issue a demand store; returns its latency in ticks."""
-        txn = MemoryTransaction(CPU_STORE, addr, self.sim.now, core=self.core_id)
-        self.hierarchy.access(txn)
-        self.stats.record(txn)
-        return txn.latency
+        return self._issue(CPU_STORE, addr)
 
     def compute(self, num_cycles: float) -> int:
         """Charge ``num_cycles`` of non-memory work; returns ticks."""

@@ -412,13 +412,20 @@ class AntagonistDriver:
     def _iterate(self) -> None:
         if self._stopped:
             return
+        app = self.app
+        core = self.core
         latency = 0
-        n_lines = self.app.num_lines()
-        for _ in range(self.app.accesses_per_iteration):
-            line = self._rng.randrange(n_lines)
-            latency += self.core.mem_read(self.app.buffer_base + line * LINE_SIZE)
-            latency += self.core.compute(self.app.compute_cycles_per_access)
-            self.app.accesses_done += 1
+        n_lines = app.num_lines()
+        base = app.buffer_base
+        randrange = self._rng.randrange
+        mem_read = core.mem_read
+        # Constant per-access compute cost: convert once, account once.
+        compute_ticks = units.cycles(app.compute_cycles_per_access, core.freq_ghz)
+        n = app.accesses_per_iteration
+        for _ in range(n):
+            latency += mem_read(base + randrange(n_lines) * LINE_SIZE) + compute_ticks
+        core.stats.compute_ticks += compute_ticks * n
+        app.accesses_done += n
         self.iterations += 1
         self.samples.append(
             (self.sim.now, self.app.accesses_done, self.core.stats.mem_ticks)

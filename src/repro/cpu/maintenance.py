@@ -40,6 +40,10 @@ class MaintenanceUnit:
         self.page_table = page_table
         self.scope = scope
         self.invalidated_lines = 0
+        # Scratch transaction for the invalidate loop (IDIO issues one
+        # invalidate per consumed buffer line): reused when no hop
+        # recording or transaction subscriber would retain it.
+        self._scratch_txn = MemoryTransaction(INVALIDATE, 0, 0, core=core)
 
     def invalidate_range(self, base: int, num_bytes: int, now: int) -> int:
         """Invalidate-without-writeback over ``[base, base+num_bytes)``.
@@ -48,19 +52,33 @@ class MaintenanceUnit:
         :class:`~repro.cpu.pagetable.InvalidatePermissionError` when the
         page table is attached and any page lacks the Invalidatable bit.
         """
-        cost = 0
-        access = self.hierarchy.access
-        for addr in lines_spanning(base, num_bytes):
-            if self.page_table is not None:
-                self.page_table.check_invalidate(addr)
-            access(
-                MemoryTransaction(
-                    INVALIDATE, addr, now, core=self.core, scope=self.scope
+        hierarchy = self.hierarchy
+        page_table = self.page_table
+        lines = 0
+        if hierarchy.record_hops or hierarchy._txn_subs:
+            access = hierarchy.access
+            for addr in lines_spanning(base, num_bytes):
+                if page_table is not None:
+                    page_table.check_invalidate(addr)
+                access(
+                    MemoryTransaction(
+                        INVALIDATE, addr, now, core=self.core, scope=self.scope
+                    )
                 )
-            )
-            self.invalidated_lines += 1
-            cost += self.INVALIDATE_LINE_COST
-        return cost
+                lines += 1
+        else:
+            run = hierarchy._run_invalidate
+            txn = self._scratch_txn
+            txn.now = now
+            txn.scope = self.scope
+            for addr in lines_spanning(base, num_bytes):
+                if page_table is not None:
+                    page_table.check_invalidate(addr)
+                txn.addr = addr
+                run(txn)
+                lines += 1
+        self.invalidated_lines += lines
+        return lines * self.INVALIDATE_LINE_COST
 
     def flush_range(self, base: int, num_bytes: int, now: int) -> int:
         """Conventional clean+invalidate (clflush-style): writes dirty data

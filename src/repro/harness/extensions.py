@@ -12,7 +12,8 @@ the published evaluation:
 
 Each function mirrors the ``figures`` module: it declares its sweep,
 fans it out through :func:`repro.harness.runner.run_named_experiments`
-(``jobs > 1`` uses a process pool), and returns a
+(``jobs > 1`` rides the warm session pool shared with the figure
+sweeps — see ``docs/performance.md``), and returns a
 :class:`~repro.harness.figures.FigureReport` over summaries.
 """
 

@@ -9,7 +9,10 @@ All functions accept scaling knobs so the same code path serves both quick
 smoke tests (small rings, short bursts) and full paper-scale runs, plus a
 ``jobs`` knob: every figure declares its full sweep up front and hands it
 to :func:`repro.harness.runner.run_experiments`, so ``jobs > 1`` fans the
-independent runs out over a process pool.  Results are therefore
+independent runs out over the *warm session pool* — one set of worker
+processes shared by every sweep of the session, fed by spool-file
+broadcast (see ``docs/performance.md``), so back-to-back figures pay no
+per-call fork or per-task experiment pickling.  Results are therefore
 :class:`~repro.harness.experiment.ExperimentSummary` objects (slim and
 picklable), not live servers.
 """

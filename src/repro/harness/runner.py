@@ -1,4 +1,4 @@
-"""Parallel experiment runner: fan sweeps out over a process pool.
+"""Parallel experiment runner: fan sweeps out over a warm process pool.
 
 Every figure in the evaluation is a sweep of independent, seeded
 :class:`~repro.harness.experiment.Experiment` runs, so the natural unit
@@ -6,6 +6,16 @@ of parallelism is one experiment per worker process.  Workers return
 :class:`~repro.harness.experiment.ExperimentSummary` objects — the slim,
 picklable slice of a run — never the live server, which keeps the
 transfer cheap and the parent's memory flat over long sweeps.
+
+The pool is *warm*: created once per session (first parallel call) and
+reused by every subsequent ``run_experiments`` / ``run_sweep`` until
+:func:`shutdown_pool` (registered via ``atexit``, wrapped by
+:func:`pool_session`).  Short sweeps no longer pay pool spawn on every
+call, and tasks no longer carry pickled experiments: each batch is
+broadcast once through a spool file tagged with a generation counter,
+workers memoize the table per generation, and the per-task payload is a
+``(generation, index)`` tuple.  Fork hosts additionally inherit all
+read-only module state (configs, policies) for free at pool creation.
 
 Guarantees:
 
@@ -17,16 +27,23 @@ Guarantees:
 * **Graceful fallback** — ``jobs <= 1``, a single experiment, or a host
   where process pools cannot be created (sandboxes without ``fork`` /
   semaphores) all degrade to the serial path with identical results.
+* **Containment** — a sweep timeout terminates and discards the session
+  pool (a wedged worker cannot be reclaimed); the next parallel call
+  transparently warms a fresh one.
 """
 
 from __future__ import annotations
 
+import atexit
+import contextlib
 import multiprocessing
 import os
+import pickle
 import random
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .experiment import Experiment, ExperimentSummary, run_experiment
 
@@ -51,30 +68,219 @@ def _run_serial(experiments: Sequence[Experiment]) -> List[ExperimentSummary]:
     return [run_experiment_summary(exp) for exp in experiments]
 
 
+# ----------------------------------------------------------------------
+# warm worker pool
+# ----------------------------------------------------------------------
+
+# Worker-side state.  ``_worker_init`` runs once per worker process and
+# records where batches are spooled; ``_worker_table`` memoizes the most
+# recently loaded batch so the spool file is read once per (worker,
+# generation), not once per task.
+_worker_spool: Optional[str] = None
+_worker_generation: int = -1
+_worker_table: List[Experiment] = []
+
+
+def _worker_init(spool_path: str) -> None:
+    global _worker_spool
+    _worker_spool = spool_path
+
+
+def _worker_experiment(generation: int, index: int) -> Experiment:
+    global _worker_generation, _worker_table
+    if generation != _worker_generation:
+        assert _worker_spool is not None, "worker used before initialization"
+        with open(_worker_spool, "rb") as fh:
+            spooled_generation, table = pickle.load(fh)
+        if spooled_generation != generation:
+            # A new batch was broadcast while this stale task sat queued;
+            # its result has no consumer, so failing loudly is safe.
+            raise RuntimeError(
+                f"stale pool task: generation {generation} requested but "
+                f"generation {spooled_generation} is spooled"
+            )
+        _worker_generation, _worker_table = spooled_generation, table
+    return _worker_table[index]
+
+
+def _run_indexed(task: Tuple[int, int]) -> ExperimentSummary:
+    """Pool entry point for plain batches: ``(generation, index)``."""
+    generation, index = task
+    return run_experiment_summary(_worker_experiment(generation, index))
+
+
+def _run_indexed_attempt(task: Tuple[int, int, int]) -> ExperimentSummary:
+    """Pool entry point for resilient sweeps: applies harness faults."""
+    generation, index, attempt = task
+    experiment = _worker_experiment(generation, index)
+    _apply_harness_faults(experiment, attempt)
+    return run_experiment_summary(experiment)
+
+
+def _chunksize(num_tasks: int, workers: int) -> int:
+    """Adaptive chunk size: ~4 chunks per worker.
+
+    Large enough to amortize IPC per task, small enough that a slow
+    chunk cannot idle the rest of the pool for long (each worker gets
+    several bites at the queue, so stragglers rebalance).
+    """
+    return max(1, num_tasks // (workers * 4))
+
+
+class WarmPool:
+    """A reusable process pool fed through a generation-tagged spool file.
+
+    ``broadcast`` pickles the batch *once* to the spool file;
+    ``map``/``submit`` then dispatch ``(generation, index)`` tuples.
+    Workers reload the table only when the generation changes, so a
+    thousand-experiment sweep pickles its experiments once rather than a
+    thousand times, and repeat sweeps over the same pool pay no spawn.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        fd, spool_path = tempfile.mkstemp(prefix="repro-sweep-", suffix=".table")
+        os.close(fd)
+        self.spool_path = spool_path
+        self.generation = 0
+        self.batches_dispatched = 0
+        try:
+            self._pool = multiprocessing.get_context().Pool(
+                workers, initializer=_worker_init, initargs=(spool_path,)
+            )
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(spool_path)
+            raise
+
+    def broadcast(self, experiments: Sequence[Experiment]) -> int:
+        """Publish a batch to the workers; returns its generation tag."""
+        self.generation += 1
+        staged = f"{self.spool_path}.{self.generation}"
+        with open(staged, "wb") as fh:
+            pickle.dump(
+                (self.generation, list(experiments)),
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        # Atomic swap: a worker opening the spool sees either the old
+        # complete table or the new complete table, never a torn write.
+        os.replace(staged, self.spool_path)
+        self.batches_dispatched += 1
+        return self.generation
+
+    def map(
+        self, experiments: Sequence[Experiment], chunksize: int
+    ) -> List[ExperimentSummary]:
+        generation = self.broadcast(experiments)
+        tasks = [(generation, index) for index in range(len(experiments))]
+        return self._pool.map(_run_indexed, tasks, chunksize=chunksize)
+
+    def submit(self, generation: int, index: int, attempt: int):
+        """Async dispatch of one sweep attempt; returns the pool handle."""
+        return self._pool.apply_async(
+            _run_indexed_attempt, ((generation, index, attempt),)
+        )
+
+    def close(self, terminate: bool = False) -> None:
+        if terminate:
+            self._pool.terminate()
+        else:
+            self._pool.close()
+        self._pool.join()
+        with contextlib.suppress(OSError):
+            os.unlink(self.spool_path)
+
+
+_session_pool: Optional[WarmPool] = None
+
+#: Introspection of the most recent dispatch decision (read by the bench
+#: harness to record chunk sizes alongside throughput numbers).
+last_dispatch: Dict[str, Any] = {}
+
+
+def _note_dispatch(mode: str, workers: int, chunksize: int, batch: int) -> None:
+    last_dispatch.clear()
+    last_dispatch.update(
+        {"mode": mode, "workers": workers, "chunksize": chunksize, "batch": batch}
+    )
+
+
+def get_pool(jobs: Optional[int]) -> Optional[WarmPool]:
+    """Return the warm session pool, creating or growing it as needed.
+
+    Returns ``None`` when ``jobs <= 1`` or the host cannot create process
+    pools — callers fall back to the serial path.  A pool wider than
+    requested is reused as-is (idle workers are free); a narrower one is
+    replaced so ``jobs`` is always an upper bound honored by capacity.
+    """
+    global _session_pool
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1:
+        return None
+    pool = _session_pool
+    if pool is not None and pool.workers >= jobs:
+        return pool
+    if pool is not None:
+        shutdown_pool()
+    try:
+        _session_pool = WarmPool(jobs)
+    except (OSError, PermissionError, ValueError):
+        # No semaphores / fork support (restricted sandbox): no pool.
+        _session_pool = None
+    return _session_pool
+
+
+def shutdown_pool(terminate: bool = False) -> None:
+    """Tear down the session pool (idempotent; re-warmed on next use)."""
+    global _session_pool
+    pool = _session_pool
+    _session_pool = None
+    if pool is not None:
+        pool.close(terminate=terminate)
+
+
+atexit.register(shutdown_pool)
+
+
+@contextlib.contextmanager
+def pool_session(jobs: Optional[int] = None) -> Iterator[Optional[WarmPool]]:
+    """Scope a warm pool to a ``with`` block: pre-warm, run, tear down.
+
+    The CLI and the validation harness wrap their sweeps in this so a
+    multi-figure session shares one pool and still exits clean.
+    """
+    pool = get_pool(jobs)
+    try:
+        yield pool
+    finally:
+        shutdown_pool()
+
+
 def run_experiments(
     experiments: Iterable[Experiment], jobs: int = 1
 ) -> List[ExperimentSummary]:
     """Run a batch of experiments, ``jobs`` at a time, preserving order.
 
     ``jobs=1`` (the default) runs serially in-process; ``jobs=None`` uses
-    one worker per available core.  The pool path and the serial path
-    produce identical summaries for seeded experiments.
+    one worker per available core.  Parallel batches run on the warm
+    session pool (created on first use, reused across calls) with an
+    adaptive chunk size.  The pool path and the serial path produce
+    identical summaries for seeded experiments.
     """
     batch = list(experiments)
     if jobs is None:
         jobs = default_jobs()
-    if jobs <= 1 or len(batch) <= 1:
+    pool = None
+    if jobs > 1 and len(batch) > 1:
+        pool = get_pool(jobs)
+    if pool is None:
+        _note_dispatch("serial", 1, 0, len(batch))
         return _run_serial(batch)
-    try:
-        pool = multiprocessing.get_context().Pool(min(jobs, len(batch)))
-    except (OSError, PermissionError, ValueError):
-        # No semaphores / fork support (restricted sandbox): run serially.
-        return _run_serial(batch)
-    try:
-        return pool.map(run_experiment_summary, batch, chunksize=1)
-    finally:
-        pool.close()
-        pool.join()
+    chunksize = _chunksize(len(batch), pool.workers)
+    _note_dispatch("warm-pool", pool.workers, chunksize, len(batch))
+    return pool.map(batch, chunksize)
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +321,7 @@ def _apply_harness_faults(experiment: Experiment, attempt: int) -> None:
 
 
 def _sweep_worker(job: Tuple[Experiment, int]) -> ExperimentSummary:
-    """Pool entry point: apply harness faults, then run one experiment."""
+    """Serial entry point: apply harness faults, then run one experiment."""
     experiment, attempt = job
     _apply_harness_faults(experiment, attempt)
     return run_experiment_summary(experiment)
@@ -275,76 +481,73 @@ def run_sweep(
     extra attempts with linear backoff, a worker that exceeds
     ``timeout_s`` wall seconds is abandoned and reported as ``timeout``,
     and the rest of the sweep completes regardless.  ``jobs``/``jobs=None``
-    follow :func:`run_experiments`; a host without process pools degrades
-    to the serial path (where timeouts are detected after the fact rather
-    than enforced).
+    follow :func:`run_experiments` and share the same warm session pool;
+    a host without process pools degrades to the serial path (where
+    timeouts are detected after the fact rather than enforced).
+
+    A timeout poisons the pool — the wedged worker still occupies a
+    slot — so the session pool is terminated and discarded; the next
+    parallel call warms a fresh one.
     """
     batch = list(experiments)
     if jobs is None:
         jobs = default_jobs()
     if not batch:
         return SweepResult()
-    if jobs <= 1:
-        return _run_sweep_serial(batch, timeout_s, retries, retry_backoff_s)
-    try:
-        pool = multiprocessing.get_context().Pool(min(jobs, len(batch)))
-    except (OSError, PermissionError, ValueError):
+    pool = get_pool(jobs) if jobs > 1 else None
+    if pool is None:
         return _run_sweep_serial(batch, timeout_s, retries, retry_backoff_s)
 
+    generation = pool.broadcast(batch)
+    _note_dispatch("warm-pool", pool.workers, 1, len(batch))
     result = SweepResult()
     timed_out = False
-    try:
-        pending = [pool.apply_async(_sweep_worker, ((exp, 1),)) for exp in batch]
-        for exp, handle in zip(batch, pending):
-            attempts = 1
-            start = time.perf_counter()
-            while True:
-                try:
-                    summary = handle.get(timeout_s)
-                except multiprocessing.TimeoutError:
-                    # The worker is still wedged in its pool slot; the
-                    # pool is terminated (not joined) once all results
-                    # are accounted for.
-                    timed_out = True
-                    result.summaries.append(None)
-                    result.records.append(
-                        SweepRecord(
-                            name=exp.name,
-                            status="timeout",
-                            attempts=attempts,
-                            error=f"no result within {timeout_s}s",
-                            wall_seconds=time.perf_counter() - start,
-                        )
+    pending = [pool.submit(generation, i, 1) for i in range(len(batch))]
+    for index, (exp, handle) in enumerate(zip(batch, pending)):
+        attempts = 1
+        start = time.perf_counter()
+        while True:
+            try:
+                summary = handle.get(timeout_s)
+            except multiprocessing.TimeoutError:
+                # The worker is still wedged in its pool slot; remaining
+                # handles are drained first, then the pool is torn down.
+                timed_out = True
+                result.summaries.append(None)
+                result.records.append(
+                    SweepRecord(
+                        name=exp.name,
+                        status="timeout",
+                        attempts=attempts,
+                        error=f"no result within {timeout_s}s",
+                        wall_seconds=time.perf_counter() - start,
                     )
-                    break
-                except Exception as exc:  # noqa: BLE001 - report, don't die
-                    if attempts <= retries:
-                        time.sleep(retry_backoff_s * attempts)
-                        attempts += 1
-                        handle = pool.apply_async(_sweep_worker, ((exp, attempts),))
-                        continue
-                    result.summaries.append(None)
-                    result.records.append(
-                        SweepRecord(
-                            name=exp.name,
-                            status="failed",
-                            attempts=attempts,
-                            error=f"{type(exc).__name__}: {exc}",
-                            wall_seconds=time.perf_counter() - start,
-                        )
-                    )
-                    break
-                summary, record = _finish_summary(summary, attempts)
-                record.wall_seconds = time.perf_counter() - start
-                result.summaries.append(summary)
-                result.records.append(record)
+                )
                 break
-    finally:
-        if timed_out:
-            pool.terminate()
-        else:
-            pool.close()
-        pool.join()
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                if attempts <= retries:
+                    time.sleep(retry_backoff_s * attempts)
+                    attempts += 1
+                    handle = pool.submit(generation, index, attempts)
+                    continue
+                result.summaries.append(None)
+                result.records.append(
+                    SweepRecord(
+                        name=exp.name,
+                        status="failed",
+                        attempts=attempts,
+                        error=f"{type(exc).__name__}: {exc}",
+                        wall_seconds=time.perf_counter() - start,
+                    )
+                )
+                break
+            summary, record = _finish_summary(summary, attempts)
+            record.wall_seconds = time.perf_counter() - start
+            result.summaries.append(summary)
+            result.records.append(record)
+            break
+    if timed_out:
+        shutdown_pool(terminate=True)
     return result
 
 

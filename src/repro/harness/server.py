@@ -105,6 +105,11 @@ class ServerConfig:
     #: DRAM model: "fixed" (constant latency) or "banked" (channels,
     #: banks, open-row tracking).
     dram_model: str = "fixed"
+    #: Cache replacement policy for every level (``None`` = per-level
+    #: default, ``lru``).  ``"lru-vec"`` opts into the numpy-vectorized
+    #: exact-LRU path (identical results; falls back to ``lru`` without
+    #: numpy — see :mod:`repro.mem._vec`).
+    replacement: Optional[str] = None
     #: Extra pool buffers per ring slot in re-allocate mode.
     reallocate_pool_factor: int = 2
     cost_model: Optional[CostModel] = None
@@ -191,6 +196,7 @@ class SimulatedServer:
             llc_inclusive=config.llc_inclusive,
             llc_slices=llc_slices,
             dram_model=config.dram_model,
+            replacement=config.replacement,
         )
         # Custom LLC geometry.
         from ..mem.cache import CacheConfig

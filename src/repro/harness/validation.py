@@ -16,6 +16,7 @@ from typing import Callable, Dict, List
 
 from . import extensions, figures
 from .report import format_table
+from .runner import pool_session
 
 
 @dataclass
@@ -282,6 +283,9 @@ def run_validation(quick: bool = False, jobs: int = 1) -> Scorecard:
     """
     ring_size = 512 if quick else 1024
     card = Scorecard()
-    for validator in VALIDATORS:
-        validator(card, ring_size, jobs)
+    # One warm pool serves every validator's sweeps; torn down on exit
+    # so a library caller doesn't inherit idle workers.
+    with pool_session(jobs if jobs and jobs > 1 else 1):
+        for validator in VALIDATORS:
+            validator(card, ring_size, jobs)
     return card

@@ -1,0 +1,39 @@
+"""Optional numpy acceleration layer (the only sanctioned numpy import).
+
+The simulator must run — and produce byte-identical results — on a bare
+CPython install.  Everything numpy-flavored therefore funnels through
+this module: the import is guarded, :data:`HAVE_NUMPY` reports the
+outcome, and callers branch on the flag (or on a factory that already
+did).  simlint's SIM008 enforces the funnel: an unguarded top-level
+``import numpy`` anywhere else in simulation code is a lint error, so a
+missing numpy can never break ``import repro``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+try:  # pragma: no cover - exercised indirectly via HAVE_NUMPY branches
+    import numpy
+except ImportError:  # pragma: no cover - numpy is present in CI
+    numpy = None  # type: ignore[assignment]
+
+#: True when numpy imported cleanly; the sole gate for vectorized paths.
+HAVE_NUMPY = numpy is not None
+
+np = numpy
+
+
+def set_indices(
+    addrs: Sequence[int], line_shift: int, set_mask: int
+) -> "List[int]":
+    """Set index for each address, vectorized when numpy is available.
+
+    Matches ``SetAssociativeCache.set_index`` for power-of-two
+    geometries (``line_shift``/``set_mask`` as precomputed there).  The
+    pure-Python fallback makes the helper safe to call unconditionally.
+    """
+    if HAVE_NUMPY and len(addrs) >= 8:
+        arr = np.asarray(addrs, dtype=np.int64)
+        return ((arr >> line_shift) & set_mask).tolist()
+    return [(a >> line_shift) & set_mask for a in addrs]

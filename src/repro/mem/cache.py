@@ -15,7 +15,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .line import LINE_SIZE, CacheLine, line_address
-from .replacement import ReplacementPolicy, make_policy
+from .replacement import LRUPolicy, ReplacementPolicy, make_policy
+
+_LINE_MASK = ~(LINE_SIZE - 1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +71,7 @@ class SetAssociativeCache:
         "_mask_cache",
         "_line_shift",
         "_set_mask",
+        "_lru_rows",
     )
 
     def __init__(self, config: CacheConfig) -> None:
@@ -95,6 +98,14 @@ class SetAssociativeCache:
         )
         self._set_mask = (
             self.num_sets - 1 if self.num_sets & (self.num_sets - 1) == 0 else -1
+        )
+        # Fast-path recency: for the exact default LRU policy the cache
+        # bumps the policy's per-set tick rows directly, fusing the
+        # free-way scan and the victim scan into one pass over the set.
+        # Any other policy (plru, random, the reference/vectorized LRUs)
+        # goes through the generic on_access/victim protocol.
+        self._lru_rows: Optional[List[List[int]]] = (
+            self.policy._last_use if type(self.policy) is LRUPolicy else None
         )
 
     # -- addressing ---------------------------------------------------
@@ -132,12 +143,18 @@ class SetAssociativeCache:
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Return the resident line and update recency (a cache hit)."""
-        addr = line_address(addr)
-        loc = self._where.get(addr)
+        loc = self._where.get(addr & _LINE_MASK)
         if loc is None:
             return None
         set_idx, way = loc
-        self.policy.on_access(set_idx, way)
+        rows = self._lru_rows
+        if rows is not None:
+            policy = self.policy
+            tick = policy._tick + 1
+            policy._tick = tick
+            rows[set_idx][way] = tick
+        else:
+            self.policy.on_access(set_idx, way)
         return self._sets[set_idx][way]
 
     def lines(self) -> Iterator[CacheLine]:
@@ -171,6 +188,7 @@ class SetAssociativeCache:
         addr = line.addr
         where = self._where
         existing_loc = where.get(addr)
+        rows = self._lru_rows
         if existing_loc is not None:
             set_idx, way = existing_loc
             resident = self._sets[set_idx][way]
@@ -178,7 +196,13 @@ class SetAssociativeCache:
             resident.dirty = resident.dirty or line.dirty
             resident.origin = line.origin
             resident.owner = line.owner
-            self.policy.on_access(set_idx, way)
+            if rows is not None:
+                policy = self.policy
+                tick = policy._tick + 1
+                policy._tick = tick
+                rows[set_idx][way] = tick
+            else:
+                self.policy.on_access(set_idx, way)
             return None
 
         if self._line_shift >= 0 and self._set_mask >= 0:
@@ -193,6 +217,37 @@ class SetAssociativeCache:
 
         cache_set = self._sets[set_idx]
         victim: Optional[CacheLine] = None
+
+        if rows is not None:
+            # Fused scan: one pass finds the first free way *and* tracks
+            # the LRU victim among occupied ways, so a full set costs one
+            # traversal instead of free-scan + policy.victim + bookkeeping
+            # calls.  Tie-break (first eligible among never-touched ways)
+            # matches LRUPolicy.victim exactly.
+            row = rows[set_idx]
+            target_way = -1
+            best_way = -1
+            best_tick = -1
+            for w in ways:
+                if cache_set[w] is None:
+                    target_way = w
+                    break
+                t = row[w]
+                if best_tick < 0 or t < best_tick:
+                    best_way = w
+                    best_tick = t
+            if target_way < 0:
+                target_way = best_way
+                victim = cache_set[target_way]
+                del where[victim.addr]
+            policy = self.policy
+            tick = policy._tick + 1
+            policy._tick = tick
+            cache_set[target_way] = line
+            where[addr] = (set_idx, target_way)
+            row[target_way] = tick
+            return victim
+
         target_way = -1
         for w in ways:
             if cache_set[w] is None:

@@ -33,6 +33,11 @@ class DRAM:
         name: str = "dram",
     ) -> None:
         self.stats = stats
+        # Every read/write is one counter increment plus one timestamp
+        # append; the bundle's underlying dicts are hit directly (they
+        # survive reset(), see StatsBundle).
+        self._counter_values = stats._counter_values
+        self._event_streams = stats._event_streams
         self.latency = latency
         self.peak_gbps = peak_gbps
         self.name = name
@@ -56,7 +61,8 @@ class DRAM:
 
     def read(self, addr: int, now: int) -> int:
         """Perform a line read; returns total latency in ticks."""
-        self.stats.bump("dram_reads", now)
+        self._counter_values["dram_reads"] += 1
+        self._event_streams["dram_reads"].append(now)
         latency = self.latency + self._service(now)
         if self.faults is not None:
             latency += self.faults.dram_extra_ticks(now)
@@ -64,7 +70,8 @@ class DRAM:
 
     def write(self, addr: int, now: int) -> int:
         """Perform a line write; returns total latency in ticks."""
-        self.stats.bump("dram_writes", now)
+        self._counter_values["dram_writes"] += 1
+        self._event_streams["dram_writes"].append(now)
         latency = self.latency + self._service(now)
         if self.faults is not None:
             latency += self.faults.dram_extra_ticks(now)
@@ -143,9 +150,9 @@ class BankedDRAM(DRAM):
         channel, bank, row = self._locate(addr)
         latency = self.t_cas
         if self._open_row[channel][bank] == row:
-            self.stats.counters.add("dram_row_hits")
+            self._counter_values["dram_row_hits"] += 1
         else:
-            self.stats.counters.add("dram_row_misses")
+            self._counter_values["dram_row_misses"] += 1
             self._open_row[channel][bank] = row
             latency += self._row_miss_penalty
         # Channel bus contention.
@@ -155,14 +162,16 @@ class BankedDRAM(DRAM):
         return latency + (finish - now - self._service_per_line)
 
     def read(self, addr: int, now: int) -> int:
-        self.stats.bump("dram_reads", now)
+        self._counter_values["dram_reads"] += 1
+        self._event_streams["dram_reads"].append(now)
         latency = self._access(addr, now)
         if self.faults is not None:
             latency += self.faults.dram_extra_ticks(now)
         return latency
 
     def write(self, addr: int, now: int) -> int:
-        self.stats.bump("dram_writes", now)
+        self._counter_values["dram_writes"] += 1
+        self._event_streams["dram_writes"].append(now)
         latency = self._access(addr, now)
         if self.faults is not None:
             latency += self.faults.dram_extra_ticks(now)

@@ -30,7 +30,7 @@ subscriber like everyone else.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from ..obs.bus import EventBus
@@ -38,7 +38,7 @@ from ..obs.events import LlcWritebackEvent, MlcWritebackEvent
 from ..sim import units
 from .cache import CacheConfig
 from .dram import DRAM
-from .line import CacheLine, line_address
+from .line import _LINE_MASK, CacheLine, line_address
 from .llc import NonInclusiveLLC
 from .mlc import PrivateCache
 from .stats import HierarchyStatsSubscriber, StatsBundle
@@ -99,22 +99,32 @@ class HierarchyConfig:
     #: "fixed" = constant-latency DRAM; "banked" = channels/banks with
     #: open-row tracking (see mem.dram.BankedDRAM).
     dram_model: str = "fixed"
+    #: Replacement policy applied to every level (``None`` = keep each
+    #: CacheConfig's own setting, i.e. ``lru``).  ``lru-vec`` selects the
+    #: numpy-vectorized exact-LRU variant, falling back to ``lru`` when
+    #: numpy is absent — results are identical either way.
+    replacement: Optional[str] = None
+
+    def _with_replacement(self, cfg: CacheConfig) -> CacheConfig:
+        if self.replacement is None or cfg.replacement == self.replacement:
+            return cfg
+        return replace(cfg, replacement=self.replacement)
 
     def resolved_l1(self) -> CacheConfig:
-        return self.l1 or default_l1_config(self.freq_ghz)
+        return self._with_replacement(self.l1 or default_l1_config(self.freq_ghz))
 
     def resolved_mlc(self, core: int) -> CacheConfig:
         if self.mlc is not None:
-            return self.mlc
+            return self._with_replacement(self.mlc)
         size = 1024 * 1024
         if self.mlc_sizes is not None and core < len(self.mlc_sizes):
             override = self.mlc_sizes[core]
             if override:
                 size = override
-        return default_mlc_config(self.freq_ghz, size)
+        return self._with_replacement(default_mlc_config(self.freq_ghz, size))
 
     def resolved_llc(self) -> CacheConfig:
-        return self.llc or default_llc_config(self.freq_ghz)
+        return self._with_replacement(self.llc or default_llc_config(self.freq_ghz))
 
 
 @dataclass
@@ -144,6 +154,17 @@ class MemoryHierarchy:
             self.stats, config.num_cores
         )
         self._stats_subscriber.install(self.bus)
+        # Hot-path counter/event-log access: the handlers below perform
+        # one unlogged increment (or one increment + one timestamp
+        # append) per state transition, so they hit the bundle's
+        # underlying dicts directly (they survive reset(); see
+        # StatsBundle.bump, whose semantics each inline site preserves).
+        self._counter_values = self.stats._counter_values
+        self._event_streams = self.stats._event_streams
+        # Freelist of dead CacheLine objects.  Lines churn at a few per
+        # access (fills allocate, evictions/drops free); recycling at the
+        # provably-dead sites flattens the allocation profile.
+        self._line_pool: List[CacheLine] = []
         # Hot-path caches of the live subscriber lists: publishing is a
         # truthiness check plus a loop, and the event object is only
         # constructed when somebody listens.
@@ -184,6 +205,24 @@ class MemoryHierarchy:
             )
         else:
             raise ValueError(f"unknown dram_model {config.dram_model!r}")
+        # Direct references into the cache containers for the demand and
+        # DMA paths: each access otherwise pays two or three delegation
+        # hops (PrivateCache -> SetAssociativeCache, NonInclusiveLLC ->
+        # data array, SnoopFilterDirectory -> entry dict).  Nothing in
+        # the package replaces these objects after construction, so one
+        # attribute load per access replaces a method call per hop.
+        self._l1_data = [c.data if c is not None else None for c in self.l1]
+        self._mlc_data = [c.data for c in self.mlc]
+        self._llc_data = self.llc.data
+        self._l1_lat = [
+            c.config.latency if c is not None else 0 for c in self.l1
+        ]
+        self._mlc_lat = [c.config.latency for c in self.mlc]
+        self._llc_lat = self.llc.config.latency
+        # Monolithic LLC: access latency is a constant; only the NUCA
+        # model (slices > 0) needs the per-(core, addr) hop computation.
+        self._flat_llc = self.llc.slices <= 0
+        self._dir_entries = self.llc.directory._entries
         # Per-core counter names, pre-formatted once (these are bumped on
         # every invalidation; f-strings there are measurable).
         self._mlc_inval_names = [
@@ -259,18 +298,37 @@ class MemoryHierarchy:
     # internal helpers
     # ------------------------------------------------------------------
 
+    def _make_line(self, addr: int, dirty: bool, origin: str, owner: int) -> CacheLine:
+        """A CacheLine from the freelist (or fresh when the pool is dry)."""
+        pool = self._line_pool
+        if pool:
+            line = pool.pop()
+            line.addr = addr
+            line.dirty = dirty
+            line.origin = origin
+            line.owner = owner
+            return line
+        return CacheLine(addr, dirty, origin, owner)
+
+    def _retire_line(self, line: CacheLine) -> None:
+        """Recycle a line no cache, directory, or caller references."""
+        pool = self._line_pool
+        if len(pool) < 256:
+            pool.append(line)
+
     def _drop_private(self, core: int, addr: int) -> Optional[CacheLine]:
         """Remove ``addr`` from core's L1+MLC; returns the line (dirtiest view)."""
         merged: Optional[CacheLine] = None
-        l1 = self.l1[core]
-        if l1 is not None:
-            l1_line = l1.remove(addr)
+        l1_data = self._l1_data[core]
+        if l1_data is not None:
+            l1_line = l1_data.remove(addr)
             if l1_line is not None:
                 merged = l1_line
-        mlc_line = self.mlc[core].remove(addr)
+        mlc_line = self._mlc_data[core].remove(addr)
         if mlc_line is not None:
             if merged is not None:
                 mlc_line.dirty = mlc_line.dirty or merged.dirty
+                self._retire_line(merged)  # superseded by the MLC copy
             merged = mlc_line
         return merged
 
@@ -280,9 +338,11 @@ class MemoryHierarchy:
             # Inclusive LLC: eviction back-invalidates private copies.
             for core in sorted(self.llc.directory.owners(victim.addr)):
                 private = self._drop_private(core, victim.addr)
-                self.stats.bump("back_invalidations", now, log=False)
-                if private is not None and private.dirty:
-                    victim.dirty = True
+                self._counter_values["back_invalidations"] += 1
+                if private is not None:
+                    if private.dirty:
+                        victim.dirty = True
+                    self._retire_line(private)
             self.llc.directory.remove(victim.addr)
         if victim.dirty:
             hops = self._active_hops
@@ -295,22 +355,30 @@ class MemoryHierarchy:
             hops = self._active_hops
             if hops is not None:
                 hops.append(Hop("llc", "drop", 0))
-            self.stats.bump("llc_clean_drops", now, log=False)
+            self._counter_values["llc_clean_drops"] += 1
+        self._retire_line(victim)
 
     def _fill_mlc(self, core: int, line: CacheLine, now: int) -> None:
         """Fill ``line`` into core's MLC, handling the non-inclusive victim path."""
         hops = self._active_hops
         if hops is not None:
             hops.append(Hop("mlc", "fill", 0))
-        victim = self.mlc[core].fill(line, now)
+        # Inlined PrivateCache.fill: set the owner, insert, count the
+        # eviction (the wrapper adds nothing else on this path).
+        line.owner = core
+        mlc = self.mlc[core]
+        victim = mlc.data.insert(line)
         if victim is None:
             return
+        self._counter_values[mlc._evict_counter] += 1
         # Keep L1 included in MLC: back-invalidate the victim's L1 copy.
-        l1 = self.l1[core]
-        if l1 is not None:
-            l1_copy = l1.remove(victim.addr)
-            if l1_copy is not None and l1_copy.dirty:
-                victim.dirty = True
+        l1_data = self._l1_data[core]
+        if l1_data is not None:
+            l1_copy = l1_data.remove(victim.addr)
+            if l1_copy is not None:
+                if l1_copy.dirty:
+                    victim.dirty = True
+                self._retire_line(l1_copy)
         self.llc.directory.remove(victim.addr, core)
         if self.llc.inclusive:
             # The LLC already holds a copy; just propagate dirtiness.
@@ -320,7 +388,8 @@ class MemoryHierarchy:
                     resident.dirty = True
                     self._notify_mlc_wb(core, now)
                 else:
-                    self.stats.bump("mlc_clean_drops", now, log=False)
+                    self._counter_values["mlc_clean_drops"] += 1
+                self._retire_line(victim)
                 return
             # Fall through (copy may have been evicted already).
         # Non-inclusive victim-cache fill: the LLC is populated by MLC
@@ -333,23 +402,28 @@ class MemoryHierarchy:
             hops.append(Hop("llc", "writeback", 0))
         self._notify_mlc_wb(core, now)
         if victim.dirty:
-            self.stats.counters.add("mlc_writebacks_dirty")
+            self._counter_values["mlc_writebacks_dirty"] += 1
         else:
-            self.stats.counters.add("mlc_writebacks_clean")
+            self._counter_values["mlc_writebacks_clean"] += 1
         llc_victim = self.llc.fill_cpu(victim, now, core=core)
         if llc_victim is not None:
             self._llc_victim_to_dram(llc_victim, now)
 
     def _fill_l1(self, core: int, addr: int, dirty: bool, now: int) -> None:
-        l1 = self.l1[core]
-        if l1 is None:
+        l1_data = self._l1_data[core]
+        if l1_data is None:
             return
-        victim = l1.fill(CacheLine(addr, dirty=dirty, owner=core), now)
-        if victim is not None and victim.dirty:
+        # Inlined PrivateCache.fill (owner is set by _make_line).
+        victim = l1_data.insert(self._make_line(addr, dirty, "cpu", core))
+        if victim is None:
+            return
+        self._counter_values[self.l1[core]._evict_counter] += 1
+        if victim.dirty:
             # Dirty L1 victim merges into the MLC copy (L1 ⊆ MLC by design).
-            mlc_line = self.mlc[core].peek(victim.addr)
+            mlc_line = self._mlc_data[core].peek(victim.addr)
             if mlc_line is not None:
                 mlc_line.dirty = True
+                self._retire_line(victim)
             else:
                 # MLC copy already gone; push straight to LLC.
                 hops = self._active_hops
@@ -359,13 +433,18 @@ class MemoryHierarchy:
                 llc_victim = self.llc.fill_cpu(victim, now, core=core)
                 if llc_victim is not None:
                     self._llc_victim_to_dram(llc_victim, now)
+        else:
+            # Clean L1 victim: silently dropped (MLC still holds it).
+            self._retire_line(victim)
 
     def _directory_back_invalidate(self, entry, now: int) -> None:
         """A directory eviction forces the MLC copies out (non-inclusive)."""
         for core in sorted(entry.owners):
             line = self._drop_private(core, entry.addr)
-            self.stats.bump("directory_back_invalidations", now, log=False)
-            if line is not None and line.dirty:
+            self._counter_values["directory_back_invalidations"] += 1
+            if line is None:
+                continue
+            if line.dirty:
                 hops = self._active_hops
                 if hops is not None:
                     hops.append(Hop("llc", "writeback", 0))
@@ -373,6 +452,8 @@ class MemoryHierarchy:
                 llc_victim = self.llc.fill_cpu(line, now, core=core)
                 if llc_victim is not None:
                     self._llc_victim_to_dram(llc_victim, now)
+            else:
+                self._retire_line(line)
 
     # ------------------------------------------------------------------
     # demand path (Fig. 2)
@@ -385,18 +466,19 @@ class MemoryHierarchy:
         now = txn.now
         is_write = txn.kind == CPU_STORE
         hops = self._active_hops
+        cv = self._counter_values
         latency = 0
-        l1 = self.l1[core]
-        if l1 is not None:
-            latency += l1.config.latency
-            hit = l1.lookup(addr)
+        l1_data = self._l1_data[core]
+        if l1_data is not None:
+            latency += self._l1_lat[core]
+            hit = l1_data.lookup(addr)
             if hit is not None:
                 if is_write:
                     hit.dirty = True
-                    mlc_copy = self.mlc[core].peek(addr)
+                    mlc_copy = self._mlc_data[core].peek(addr)
                     if mlc_copy is not None:
                         mlc_copy.dirty = True
-                self.stats.counters.add("l1_hits")
+                cv["l1_hits"] += 1
                 if hops is not None:
                     hops.append(Hop("l1", "hit", latency))
                 txn.latency = latency
@@ -405,39 +487,45 @@ class MemoryHierarchy:
             if hops is not None:
                 hops.append(Hop("l1", "miss", latency))
 
-        mlc = self.mlc[core]
-        latency += mlc.config.latency
-        hit = mlc.lookup(addr)
+        mlc_lat = self._mlc_lat[core]
+        latency += mlc_lat
+        hit = self._mlc_data[core].lookup(addr)
         if hit is not None:
             if is_write:
                 hit.dirty = True
             if hops is not None:
-                hops.append(Hop("mlc", "hit", mlc.config.latency))
+                hops.append(Hop("mlc", "hit", mlc_lat))
             self._fill_l1(core, addr, False, now)
-            self.stats.counters.add("mlc_hits")
+            cv["mlc_hits"] += 1
             txn.latency = latency
             txn.level = "mlc"
             return
         if hops is not None:
-            hops.append(Hop("mlc", "miss", mlc.config.latency))
+            hops.append(Hop("mlc", "miss", mlc_lat))
 
         # Another core's private caches may own the line: the directory
         # filters the snoop and the data migrates cache-to-cache (our
         # workloads never share lines, but the model must stay coherent
-        # for ones that do).
-        remote_owners = self.llc.directory.owners(addr) - {core}
+        # for ones that do).  The entry is read in place (no set copy);
+        # the sorted() below materializes the iteration order before the
+        # removes mutate the owner set.
+        dir_entry = self._dir_entries.get(addr & _LINE_MASK)
+        if dir_entry is not None:
+            remote_owners = [o for o in sorted(dir_entry.owners) if o != core]
+        else:
+            remote_owners = ()
         if remote_owners:
             migrated: Optional[CacheLine] = None
-            for owner in sorted(remote_owners):
+            for owner in remote_owners:
                 line = self._drop_private(owner, addr)
                 self.llc.directory.remove(addr, owner)
                 if line is not None and (migrated is None or line.dirty):
                     migrated = line
             if migrated is not None:
-                self.stats.bump("c2c_transfers", now, log=False)
-                latency += self.llc.config.latency  # snoop round trip
+                cv["c2c_transfers"] += 1
+                latency += self._llc_lat  # snoop round trip
                 if hops is not None:
-                    hops.append(Hop("directory", "c2c", self.llc.config.latency))
+                    hops.append(Hop("directory", "c2c", self._llc_lat))
                 migrated.owner = core
                 if is_write:
                     migrated.dirty = True
@@ -449,23 +537,25 @@ class MemoryHierarchy:
                 txn.level = "c2c"
                 return
 
-        llc_latency = self.llc.access_latency(core, addr)
+        llc_latency = (
+            self._llc_lat if self._flat_llc else self.llc.access_latency(core, addr)
+        )
         latency += llc_latency
-        llc_line = self.llc.lookup(addr)
+        llc_line = self._llc_data.lookup(addr)
         if llc_line is not None:
             level = "llc"
-            self.stats.counters.add("llc_hits")
+            cv["llc_hits"] += 1
             if hops is not None:
                 hops.append(Hop("llc", "hit", llc_latency))
             if self.llc.inclusive:
-                new_line = CacheLine(addr, dirty=False, origin=llc_line.origin, owner=core)
+                new_line = self._make_line(addr, False, llc_line.origin, core)
             else:
                 # Non-inclusive: data moves up, tag moves to the directory
-                # (steps A-2.1/B-2.1 of Fig. 2).
-                self.llc.remove(addr)
-                new_line = CacheLine(
-                    addr, dirty=llc_line.dirty, origin=llc_line.origin, owner=core
-                )
+                # (steps A-2.1/B-2.1 of Fig. 2).  The removed LLC line
+                # object itself migrates — no copy is allocated.
+                self._llc_data.remove(addr)
+                new_line = llc_line
+                new_line.owner = core
         else:
             level = "dram"
             dram_latency = self.dram.read(addr, now)
@@ -473,11 +563,11 @@ class MemoryHierarchy:
             if hops is not None:
                 hops.append(Hop("llc", "miss", llc_latency))
                 hops.append(Hop("dram", "read", dram_latency))
-            self.stats.counters.add("llc_misses")
-            new_line = CacheLine(addr, dirty=False, origin="cpu", owner=core)
+            cv["llc_misses"] += 1
+            new_line = self._make_line(addr, False, "cpu", core)
             if self.llc.inclusive:
                 llc_victim = self.llc.fill_cpu(
-                    CacheLine(addr, dirty=False, origin="cpu", owner=core), now, core=core
+                    self._make_line(addr, False, "cpu", core), now, core=core
                 )
                 if llc_victim is not None:
                     self._llc_victim_to_dram(llc_victim, now)
@@ -505,39 +595,47 @@ class MemoryHierarchy:
         now = txn.now
         placement = txn.placement
         hops = self._active_hops
-        self.stats.bump("pcie_writes", now)
-        latency = self.llc.config.latency
+        cv = self._counter_values
+        cv["pcie_writes"] += 1
+        self._event_streams["pcie_writes"].append(now)
+        latency = self._llc_lat
 
         # Invalidate any private (MLC/L1) copies — steps P1-1/P2-1 of Fig. 1.
-        owners = self.llc.directory.owners(addr)
-        for core in sorted(owners):
-            self._drop_private(core, addr)
-            if hops is not None:
-                hops.append(Hop("mlc", "inval", 0))
-            self.stats.bump("mlc_invalidations", now)
-            self.stats.bump(self._mlc_inval_names[core], now, log=False)
-        if owners:
+        dir_entry = self._dir_entries.get(addr & _LINE_MASK)
+        if dir_entry is not None:
+            inval_stream = self._event_streams["mlc_invalidations"]
+            for core in sorted(dir_entry.owners):
+                dropped = self._drop_private(core, addr)
+                if dropped is not None:
+                    self._retire_line(dropped)
+                if hops is not None:
+                    hops.append(Hop("mlc", "inval", 0))
+                cv["mlc_invalidations"] += 1
+                inval_stream.append(now)
+                cv[self._mlc_inval_names[core]] += 1
             self.llc.directory.remove(addr)
 
         if placement == "dram":
             # Selective direct DRAM access: drop any (stale) LLC copy and
             # write the line straight to memory.
-            stale = self.llc.remove(addr)
+            stale = self._llc_data.remove(addr)
             if stale is not None:
                 if hops is not None:
                     hops.append(Hop("llc", "drop", 0))
-                self.stats.bump("llc_drop_on_direct_dram", now, log=False)
+                cv["llc_drop_on_direct_dram"] += 1
+                self._retire_line(stale)
             latency = self.dram.write(addr, now)
             if hops is not None:
                 hops.append(Hop("dram", "write", latency))
-            self.stats.bump("direct_dram_writes", now)
+            cv["direct_dram_writes"] += 1
+            self._event_streams["direct_dram_writes"].append(now)
             txn.latency = latency
             txn.level = "dram"
             return
         if placement != "llc":
             raise ValueError(f"unknown placement {placement!r}")
 
-        resident = self.llc.lookup(addr)
+        resident = self._llc_data.lookup(addr)
         if resident is not None:
             # In-place update (P2-2 / P3-1): the line stays in whatever way
             # it occupies and becomes dirty I/O data.
@@ -545,13 +643,13 @@ class MemoryHierarchy:
             resident.origin = "io"
             if hops is not None:
                 hops.append(Hop("llc", "update", latency))
-            self.stats.bump("ddio_updates", now, log=False)
+            cv["ddio_updates"] += 1
         else:
             # Write-allocate into the DDIO ways (P1-2 / P5-1).
             if hops is not None:
                 hops.append(Hop("llc", "fill", latency))
-            victim = self.llc.fill_io(CacheLine(addr, dirty=True, origin="io"), now)
-            self.stats.bump("ddio_allocations", now, log=False)
+            victim = self.llc.fill_io(self._make_line(addr, True, "io", -1), now)
+            cv["ddio_allocations"] += 1
             if victim is not None:
                 self._llc_victim_to_dram(victim, now)
         txn.latency = latency
@@ -566,31 +664,31 @@ class MemoryHierarchy:
         addr = txn.addr
         now = txn.now
         hops = self._active_hops
-        self.stats.bump("pcie_reads", now, log=False)
-        latency = self.llc.config.latency
+        self._counter_values["pcie_reads"] += 1
+        latency = self._llc_lat
 
-        owners = self.llc.directory.owners(addr)
-        for core in sorted(owners):
-            # MLC copies are invalidated and written back to LLC (Fig. 3
-            # right): the egress read must observe the latest data.
-            line = self._drop_private(core, addr)
-            if line is None:
-                continue
-            if hops is not None:
-                hops.append(Hop("mlc", "evict", 0))
-            if line.dirty:
+        dir_entry = self._dir_entries.get(addr & _LINE_MASK)
+        if dir_entry is not None:
+            for core in sorted(dir_entry.owners):
+                # MLC copies are invalidated and written back to LLC (Fig. 3
+                # right): the egress read must observe the latest data.
+                line = self._drop_private(core, addr)
+                if line is None:
+                    continue
                 if hops is not None:
-                    hops.append(Hop("llc", "writeback", 0))
-                self._notify_mlc_wb(core, now)
-            line.owner = -1
-            llc_victim = self.llc.fill_cpu(line, now, core=core)
-            if llc_victim is not None:
-                self._llc_victim_to_dram(llc_victim, now)
-        if owners:
+                    hops.append(Hop("mlc", "evict", 0))
+                if line.dirty:
+                    if hops is not None:
+                        hops.append(Hop("llc", "writeback", 0))
+                    self._notify_mlc_wb(core, now)
+                line.owner = -1
+                llc_victim = self.llc.fill_cpu(line, now, core=core)
+                if llc_victim is not None:
+                    self._llc_victim_to_dram(llc_victim, now)
             self.llc.directory.remove(addr)
 
-        if addr in self.llc:
-            self.llc.lookup(addr)
+        # One recency-touching lookup doubles as the presence check.
+        if self._llc_data.lookup(addr) is not None:
             if hops is not None:
                 hops.append(Hop("llc", "hit", latency))
             txn.latency = latency
@@ -618,36 +716,38 @@ class MemoryHierarchy:
         core = txn.core
         addr = txn.addr
         now = txn.now
-        if addr in self.mlc[core]:
+        laddr = addr & _LINE_MASK
+        if laddr in self._mlc_data[core]._where:
             txn.level = "dropped"
             return
-        l1 = self.l1[core]
-        if l1 is not None and addr in l1:
+        l1_data = self._l1_data[core]
+        if l1_data is not None and laddr in l1_data._where:
             txn.level = "dropped"
             return
         hops = self._active_hops
-        llc_line = self.llc.lookup(addr)
+        llc_line = self._llc_data.lookup(addr)
         if llc_line is not None:
             txn.level = "llc"
             if hops is not None:
-                hops.append(Hop("llc", "hit", self.llc.config.latency))
+                hops.append(Hop("llc", "hit", self._llc_lat))
             if self.llc.inclusive:
-                new_line = CacheLine(addr, dirty=False, origin=llc_line.origin, owner=core)
+                new_line = self._make_line(addr, False, llc_line.origin, core)
             else:
-                self.llc.remove(addr)
-                new_line = CacheLine(
-                    addr, dirty=llc_line.dirty, origin=llc_line.origin, owner=core
-                )
+                # The removed LLC line migrates up as-is (no copy).
+                self._llc_data.remove(addr)
+                new_line = llc_line
+                new_line.owner = core
         else:
             txn.level = "dram"
             dram_latency = self.dram.read(addr, now)
             if hops is not None:
                 hops.append(Hop("dram", "read", dram_latency))
-            new_line = CacheLine(addr, dirty=False, origin="cpu", owner=core)
+            new_line = self._make_line(addr, False, "cpu", core)
         self._fill_mlc(core, new_line, now)
         for evicted_entry in self.llc.directory.add(addr, core):
             self._directory_back_invalidate(evicted_entry, now)
-        self.stats.bump("mlc_prefetch_fills", now)
+        self._counter_values["mlc_prefetch_fills"] += 1
+        self._event_streams["mlc_prefetch_fills"].append(now)
 
     def _run_invalidate(self, txn: MemoryTransaction) -> None:
         """The new invalidate-without-writeback maintenance operation.
@@ -668,12 +768,17 @@ class MemoryHierarchy:
             if hops is not None:
                 hops.append(Hop("mlc", "drop", 0))
             self.llc.directory.remove(addr, core)
-            self.stats.bump("self_invalidations", now)
+            self._counter_values["self_invalidations"] += 1
+            self._event_streams["self_invalidations"].append(now)
+            self._retire_line(dropped)
         if scope == "all":
-            if self.llc.remove(addr) is not None:
+            removed = self._llc_data.remove(addr)
+            if removed is not None:
                 if hops is not None:
                     hops.append(Hop("llc", "drop", 0))
-                self.stats.bump("self_invalidations_llc", now)
+                self._counter_values["self_invalidations_llc"] += 1
+                self._event_streams["self_invalidations_llc"].append(now)
+                self._retire_line(removed)
         elif scope != "private":
             raise ValueError(f"unknown invalidate scope {scope!r}")
         txn.level = "invalidated" if dropped is not None else "absent"

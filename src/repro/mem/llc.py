@@ -21,7 +21,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
 from .cache import CacheConfig, SetAssociativeCache
-from .line import CacheLine, line_address
+from .line import _LINE_MASK, CacheLine, line_address
 from .stats import StatsBundle
 
 
@@ -33,6 +33,12 @@ class DirectoryEntry:
     def __init__(self, addr: int, owners: Optional[set] = None) -> None:
         self.addr = addr
         self.owners = owners if owners is not None else set()
+
+
+#: Shared empty result for the no-eviction (common) case of
+#: :meth:`SnoopFilterDirectory.add` — callers only iterate the result, so
+#: one list serves every call without a per-call allocation.
+_NO_EVICTIONS: List[DirectoryEntry] = []
 
 
 class SnoopFilterDirectory:
@@ -57,6 +63,15 @@ class SnoopFilterDirectory:
         entry = self._entries.get(line_address(addr))
         return set(entry.owners) if entry else set()
 
+    def get(self, addr: int) -> Optional[DirectoryEntry]:
+        """The live entry for ``addr`` (no copy), or ``None``.
+
+        Hot-path alternative to :meth:`owners`: callers that only iterate
+        must not mutate the entry's owner set while doing so (take
+        ``sorted(entry.owners)`` first — it materializes a copy).
+        """
+        return self._entries.get(addr & _LINE_MASK)
+
     def add(self, addr: int, core: int) -> List[DirectoryEntry]:
         """Track ``addr`` as resident in ``core``'s MLC.
 
@@ -64,23 +79,28 @@ class SnoopFilterDirectory:
         directory has space); the caller must back-invalidate those lines
         from their owner MLCs.
         """
-        addr = line_address(addr)
-        evicted: List[DirectoryEntry] = []
+        addr = addr & _LINE_MASK
         entry = self._entries.get(addr)
         if entry is not None:
             entry.owners.add(core)
-            self._entries.move_to_end(addr)
-            return evicted
-        if self.capacity is not None:
-            while len(self._entries) >= self.capacity:
-                _, old = self._entries.popitem(last=False)
-                evicted.append(old)
+            # Recency order only matters under a capacity bound; the
+            # unbounded default never evicts, so skip the reorder.
+            if self.capacity is not None:
+                self._entries.move_to_end(addr)
+            return _NO_EVICTIONS
+        if self.capacity is None:
+            self._entries[addr] = DirectoryEntry(addr, {core})
+            return _NO_EVICTIONS
+        evicted: List[DirectoryEntry] = []
+        while len(self._entries) >= self.capacity:
+            _, old = self._entries.popitem(last=False)
+            evicted.append(old)
         self._entries[addr] = DirectoryEntry(addr, {core})
         return evicted
 
     def remove(self, addr: int, core: Optional[int] = None) -> None:
         """Drop ``core``'s residency (or the whole entry when ``core=None``)."""
-        addr = line_address(addr)
+        addr = addr & _LINE_MASK
         entry = self._entries.get(addr)
         if entry is None:
             return
@@ -120,6 +140,9 @@ class NonInclusiveLLC:
             raise ValueError(f"slices must be non-negative, got {slices}")
         self.config = config
         self.stats = stats
+        # Eviction counting is one unlogged increment per fill victim;
+        # the shared counter dict is hit directly (see StatsBundle.bump).
+        self._counter_values = stats._counter_values
         self.data = SetAssociativeCache(config)
         self.directory = SnoopFilterDirectory(directory_capacity)
         self.ddio_ways = ddio_ways
@@ -242,7 +265,7 @@ class NonInclusiveLLC:
         line.origin = "io"
         victim = self.data.insert(line, way_mask=self._io_mask)
         if victim is not None:
-            self.stats.bump("llc_evictions", now, log=False)
+            self._counter_values["llc_evictions"] += 1
         return victim
 
     def fill_cpu(
@@ -259,7 +282,7 @@ class NonInclusiveLLC:
             mask = self.core_way_mask(core)
         victim = self.data.insert(line, way_mask=mask)
         if victim is not None:
-            self.stats.bump("llc_evictions", now, log=False)
+            self._counter_values["llc_evictions"] += 1
         return victim
 
     def remove(self, addr: int) -> Optional[CacheLine]:

@@ -23,6 +23,11 @@ class PrivateCache:
         self.core = core
         self.stats = stats
         self.data = SetAssociativeCache(config)
+        # The eviction counter name is fixed for the cache's lifetime and
+        # the bump is unlogged: pre-format the name once and hit the
+        # shared counter dict directly (one fill = at most one increment).
+        self._evict_counter = f"{config.name}_evictions"
+        self._counter_values = stats._counter_values
 
     def __contains__(self, addr: int) -> bool:
         return addr in self.data
@@ -45,7 +50,7 @@ class PrivateCache:
         line.owner = self.core
         victim = self.data.insert(line)
         if victim is not None:
-            self.stats.bump(f"{self.config.name}_evictions", now, log=False)
+            self._counter_values[self._evict_counter] += 1
         return victim
 
     def remove(self, addr: int) -> Optional[CacheLine]:

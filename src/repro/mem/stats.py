@@ -204,13 +204,17 @@ class HierarchyStatsSubscriber:
     the IAT baseline, trace recorders — observe the same event.
     """
 
-    __slots__ = ("stats", "_mlc_wb_names")
+    __slots__ = ("stats", "_mlc_wb_names", "_counter_values", "_event_streams")
 
     def __init__(self, stats: StatsBundle, num_cores: int) -> None:
         self.stats = stats
         # Per-core counter names pre-formatted once; these are on the
-        # writeback hot path.
+        # writeback hot path, so the handlers also hit the bundle's
+        # underlying dicts directly (same inlined-bump pattern as the
+        # hierarchy's own counters; the refs survive reset()).
         self._mlc_wb_names = [f"mlc_writebacks_c{core}" for core in range(num_cores)]
+        self._counter_values = stats._counter_values
+        self._event_streams = stats._event_streams
 
     def install(self, bus) -> "HierarchyStatsSubscriber":
         bus.subscribe(MlcWritebackEvent, self.on_mlc_writeback)
@@ -218,8 +222,12 @@ class HierarchyStatsSubscriber:
         return self
 
     def on_mlc_writeback(self, event: MlcWritebackEvent) -> None:
-        self.stats.bump("mlc_writebacks", event.now)
-        self.stats.bump(self._mlc_wb_names[event.core], event.now, log=False)
+        now = event.now
+        cv = self._counter_values
+        cv["mlc_writebacks"] += 1
+        self._event_streams["mlc_writebacks"].append(now)
+        cv[self._mlc_wb_names[event.core]] += 1
 
     def on_llc_writeback(self, event: LlcWritebackEvent) -> None:
-        self.stats.bump("llc_writebacks", event.now)
+        self._counter_values["llc_writebacks"] += 1
+        self._event_streams["llc_writebacks"].append(event.now)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence
 
 from ..mem.hierarchy import MemoryHierarchy
-from ..mem.transaction import DMA_READ, DMA_WRITE, MemoryTransaction
+from ..mem.transaction import DMA_READ, DMA_WRITE, _LINE_MASK, MemoryTransaction
 from ..sim import Simulator
 from .tlp import IdioTag, MemReadTLP, MemWriteTLP, decode_idio_bits, encode_idio_bits
 
@@ -43,6 +43,13 @@ class RootComplex:
         #: batch entry point only leaves its fast path when the injector
         #: carries data-plane faults (TLP reorder / header corruption).
         self.faults = None
+        # Scratch transactions for the batch entry points: the hierarchy
+        # executes each transaction synchronously and nothing retains it
+        # when no hop recording or transaction subscriber is active, so
+        # the same object is re-initialized per line instead of
+        # allocated (one DMA write per line of every received packet).
+        self._scratch_write = MemoryTransaction(DMA_WRITE, 0, 0)
+        self._scratch_read = MemoryTransaction(DMA_READ, 0, 0)
 
     def attach_controller(self, hook: SteeringHook) -> None:
         """Install (or replace) the IDIO controller's data-plane hook."""
@@ -92,7 +99,39 @@ class RootComplex:
             return
         now = self.sim.now
         hook = self.steering_hook
-        access = self.hierarchy.access
+        hierarchy = self.hierarchy
+        if not (hierarchy.record_hops or hierarchy._txn_subs):
+            # Nothing retains completed transactions: re-initialize one
+            # scratch object per line and run the DMA-write handler
+            # directly (the access() wrapper's dispatch and publication
+            # are both no-ops without subscribers).
+            run = hierarchy._run_dma_write
+            txn = self._scratch_write
+            txn.now = now
+            if tags is None:
+                tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(_UNTAGGED))
+                txn.core = tag.dest_core
+                txn.tag = tag
+                if hook is None:
+                    txn.placement = "llc"
+                    for addr in addrs:
+                        txn.addr = addr & _LINE_MASK
+                        run(txn)
+                else:
+                    for addr in addrs:
+                        txn.addr = addr & _LINE_MASK
+                        txn.placement = hook(tag, addr, now)
+                        run(txn)
+                return
+            for addr, raw_tag in zip(addrs, tags):
+                tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(raw_tag))
+                txn.core = tag.dest_core
+                txn.tag = tag
+                txn.placement = hook(tag, addr, now) if hook is not None else "llc"
+                txn.addr = addr & _LINE_MASK
+                run(txn)
+            return
+        access = hierarchy.access
         if tags is None:
             tag = decode_idio_bits(_MWR_FMT_TYPE | encode_idio_bits(_UNTAGGED))
             core = tag.dest_core
@@ -152,6 +191,15 @@ class RootComplex:
     def memory_read_batch(self, addrs: Sequence[int]) -> None:
         """Process one TX burst: a memory-read TLP per line, same tick."""
         now = self.sim.now
-        access = self.hierarchy.access
+        hierarchy = self.hierarchy
+        if not (hierarchy.record_hops or hierarchy._txn_subs):
+            run = hierarchy._run_dma_read
+            txn = self._scratch_read
+            txn.now = now
+            for addr in addrs:
+                txn.addr = addr & _LINE_MASK
+                run(txn)
+            return
+        access = hierarchy.access
         for addr in addrs:
             access(MemoryTransaction(DMA_READ, addr, now))

@@ -48,18 +48,26 @@ class Event:
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`Event` objects."""
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Heap entries are ``(time, sequence, event)`` tuples rather than bare
+    events: tuple comparison runs in C, so every sift during push/pop
+    skips the ``Event.__lt__`` Python call.  The ordering is identical —
+    ``(time, sequence)`` is exactly the key ``Event.__lt__`` compares,
+    and the sequence is unique so the event object itself is never
+    compared.
+    """
 
     __slots__ = ("_heap",)
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, event: Event) -> None:
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.sequence, event))
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
@@ -67,15 +75,16 @@ class EventQueue:
         Raises :class:`IndexError` when no live events remain.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if not event.cancelled:
                 return event
         raise IndexError("pop from empty event queue")
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest live event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]

@@ -9,6 +9,7 @@ shared simulator instance.  Time is measured in integer picosecond ticks
 from __future__ import annotations
 
 import time
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from .event import Event, EventQueue
@@ -102,30 +103,55 @@ class Simulator:
         Returns the simulator time when the run stops.  If ``until`` is
         given, the clock is advanced to ``until`` even if the queue drains
         earlier, so periodic samplers observe a consistent end time.
+
+        The loop operates on the queue's heap directly and drains each
+        run of same-timestamp events as one batched tick: after the clock
+        advances, follow-on events at the same instant fire back to back
+        without re-entering the outer scheduling checks.  Ordering is
+        unchanged — the heap already yields FIFO within a timestamp via
+        the ``(time, sequence)`` key — only the per-event bookkeeping is
+        hoisted out of the inner drain.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         fired = 0
         wall_start = time.perf_counter()
+        heap = self._queue._heap
         try:
             while True:
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                if not heap:
                     if until is not None and self._now < until:
                         self._now = until
                     break
-                if until is not None and next_time > until:
+                entry = heappop(heap)
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                tick = entry[0]
+                if until is not None and tick > until:
+                    # Not due yet: put it back for the next run() call.
+                    heappush(heap, entry)
                     self._now = until
                     break
-                event = self._queue.pop()
-                self._now = event.time
+                self._now = tick
                 event.callback()
-                self._events_fired += 1
                 fired += 1
+                # Batched tick: drain the same-timestamp run.  Callbacks
+                # may push new events for this instant; the heap check
+                # picks those up in FIFO sequence order.
+                while heap and heap[0][0] == tick:
+                    if max_events is not None and fired >= max_events:
+                        break
+                    event = heappop(heap)[2]
+                    if event.cancelled:
+                        continue
+                    event.callback()
+                    fired += 1
         finally:
+            self._events_fired += fired
             self._running = False
             self._wall_seconds += time.perf_counter() - wall_start
         return self._now

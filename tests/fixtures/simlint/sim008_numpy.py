@@ -1,0 +1,26 @@
+# simlint-fixture-module: repro.mem.fake
+"""SIM008 fixture: unguarded top-level numpy imports (3 violations).
+
+The guarded import, the function-local import, and the suppressed line
+must all stay silent; only the three bare top-level forms trip.
+"""
+import numpy
+import numpy as np
+from numpy import ndarray
+
+import numpy as suppressed  # simlint: disable=SIM008
+
+try:
+    import numpy as guarded
+except ImportError:
+    guarded = None
+
+
+def lazy_user():
+    import numpy as local_np
+
+    return local_np.zeros(4)
+
+
+def touch():
+    return (numpy, np, ndarray, suppressed, guarded)

@@ -1,0 +1,154 @@
+"""Differential tests pinning the vectorized LRU to the reference LRU.
+
+``lru-vec`` must be *exactly* LRU: same victim on every trace, same
+tie-break (first eligible way among never-touched ones), same results
+whether numpy is present (``VectorizedLRUPolicy``) or absent (the
+factory falls back to ``LRUPolicy``).  The hypothesis test drives all
+three implementations through random access/evict/victim traces and
+requires identical victim choices at every step; the harness-level test
+requires a full experiment fingerprint to be byte-identical under the
+``replacement="lru-vec"`` knob.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.experiment import Experiment
+from repro.harness.runner import run_experiment_summary
+from repro.harness.server import ServerConfig
+from repro.mem._vec import HAVE_NUMPY, set_indices
+from repro.mem.replacement import (
+    LRUPolicy,
+    ReferenceLRUPolicy,
+    make_policy,
+)
+
+NUM_SETS = 4
+ASSOC = 4
+
+#: One trace step: an access, an evict, or a victim query over a random
+#: non-empty eligible subset.
+_step = st.one_of(
+    st.tuples(
+        st.just("access"),
+        st.integers(0, NUM_SETS - 1),
+        st.integers(0, ASSOC - 1),
+    ),
+    st.tuples(
+        st.just("evict"),
+        st.integers(0, NUM_SETS - 1),
+        st.integers(0, ASSOC - 1),
+    ),
+    st.tuples(
+        st.just("victim"),
+        st.integers(0, NUM_SETS - 1),
+        st.lists(
+            st.integers(0, ASSOC - 1), min_size=1, max_size=ASSOC, unique=True
+        ),
+    ),
+)
+
+
+def _replay(policy, trace):
+    victims = []
+    for step in trace:
+        if step[0] == "access":
+            policy.on_access(step[1], step[2])
+        elif step[0] == "evict":
+            policy.on_evict(step[1], step[2])
+        else:
+            victims.append(policy.victim(step[1], step[2]))
+    return victims
+
+
+class TestDifferential:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_step, max_size=120))
+    def test_lru_vec_matches_reference_on_random_traces(self, trace):
+        reference = ReferenceLRUPolicy(NUM_SETS, ASSOC)
+        vec = make_policy("lru-vec", NUM_SETS, ASSOC)
+        plain = LRUPolicy(NUM_SETS, ASSOC)
+        expected = _replay(reference, trace)
+        assert _replay(vec, trace) == expected
+        assert _replay(plain, trace) == expected
+
+    def test_tie_break_is_first_eligible(self):
+        # All ways untouched: every implementation must pick the *first*
+        # eligible way, in the eligible list's order.
+        for name in ("lru", "lru-ref", "lru-vec"):
+            policy = make_policy(name, NUM_SETS, ASSOC)
+            assert policy.victim(0, [2, 1, 3]) == 2, name
+
+    def test_victim_requires_eligible_ways(self):
+        policy = make_policy("lru-vec", NUM_SETS, ASSOC)
+        with pytest.raises(ValueError):
+            policy.victim(0, [])
+
+
+class TestNumpyGating:
+    def test_factory_type_matches_numpy_availability(self):
+        policy = make_policy("lru-vec", NUM_SETS, ASSOC)
+        if HAVE_NUMPY:
+            assert type(policy).__name__ == "VectorizedLRUPolicy"
+        else:
+            assert isinstance(policy, LRUPolicy)
+
+    def test_fallback_without_numpy(self, monkeypatch):
+        # Simulate a numpy-free host: the factory must hand back the
+        # plain LRU (identical results) rather than fail.
+        from repro.mem import replacement
+
+        monkeypatch.setattr(replacement, "HAVE_NUMPY", False)
+        policy = replacement.make_policy("lru-vec", NUM_SETS, ASSOC)
+        assert type(policy) is LRUPolicy
+
+    def test_set_indices_matches_scalar_path(self):
+        line_shift, set_mask = 6, 63
+        addrs = [0, 64, 65, 4096, 4160, 1 << 20, (1 << 20) + 64 * 17]
+        expected = [(a >> line_shift) & set_mask for a in addrs]
+        # Both the short-list scalar branch and the vectorized branch
+        # (when numpy is present) must agree with the cache's own math.
+        assert set_indices(addrs[:3], line_shift, set_mask) == expected[:3]
+        assert set_indices(addrs * 4, line_shift, set_mask) == expected * 4
+
+
+class TestHarnessKnob:
+    def test_lru_vec_fingerprint_identical_to_default(self):
+        def summary(server=None):
+            kw = {"server": server} if server is not None else {}
+            exp = Experiment(
+                name="vec-knob",
+                burst_rate_gbps=25.0,
+                traffic="bursty",
+                **kw,
+            )
+            return run_experiment_summary(exp)
+
+        base = summary(ServerConfig(app="touchdrop", ring_size=128))
+        vec = summary(
+            ServerConfig(app="touchdrop", ring_size=128, replacement="lru-vec")
+        )
+        assert pickle.dumps(base.fingerprint()) == pickle.dumps(
+            vec.fingerprint()
+        )
+
+    def test_replacement_knob_reaches_every_level(self):
+        from repro.harness.server import SimulatedServer
+
+        server = SimulatedServer(
+            ServerConfig(app="touchdrop", ring_size=128, replacement="lru-ref")
+        )
+        hierarchy = server.hierarchy
+        assert hierarchy.llc.config.replacement == "lru-ref"
+        assert all(c.config.replacement == "lru-ref" for c in hierarchy.mlc)
+        assert all(
+            c.config.replacement == "lru-ref"
+            for c in hierarchy.l1
+            if c is not None
+        )
+        # The cache's fused LRU fast path must disengage for non-default
+        # policies (it is keyed to the exact LRUPolicy type).
+        assert hierarchy.llc.data._lru_rows is None

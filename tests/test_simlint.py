@@ -31,6 +31,7 @@ FIXTURE_CASES = [
     ("sim005_legacy_wrapper.py", "SIM005", 3),
     ("sim006_subscriber.py", "SIM006", 3),
     ("sim007_units.py", "SIM007", 3),
+    ("sim008_numpy.py", "SIM008", 3),
 ]
 
 

@@ -1,12 +1,17 @@
 """tools/bench.py --check: regression comparison and exit-code propagation."""
 
-from tools.bench import compare
+from tools.bench import compare, jobs_matrix, workload_matrix
 
 
 def matrix(**walls):
     return {
         "results": {name: {"wall_seconds": wall} for name, wall in walls.items()}
     }
+
+
+def matrix_rows(cpus=1, quick=False, **rows):
+    """A run dict whose rows are full dicts (jobs/cpus/etc.)."""
+    return {"cpus": cpus, "quick": quick, "results": dict(rows)}
 
 
 def test_within_threshold_passes():
@@ -46,10 +51,89 @@ def test_exit_code_propagation(monkeypatch, tmp_path):
     baseline.write_text(json.dumps(matrix(a=1.0)))
     monkeypatch.setattr(bench, "latest_committed", lambda: baseline)
     monkeypatch.setattr(
-        bench, "run_matrix", lambda: {"date": "x", "results": matrix(a=2.0)["results"]}
+        bench,
+        "run_matrix",
+        lambda quick=False: {"date": "x", "results": matrix(a=2.0)["results"]},
     )
     assert bench.main(["--check"]) == 1
     monkeypatch.setattr(
-        bench, "run_matrix", lambda: {"date": "x", "results": matrix(a=1.0)["results"]}
+        bench,
+        "run_matrix",
+        lambda quick=False: {"date": "x", "results": matrix(a=1.0)["results"]},
     )
     assert bench.main(["--check"]) == 0
+
+
+def test_multijob_row_gates_only_on_matching_core_count():
+    row = {"wall_seconds": 4.0, "jobs": 4, "cpus": 4}
+    slow = {"wall_seconds": 9.0, "jobs": 4, "cpus": 1}
+    # Different host core count: the jobs=4 regression is informational.
+    assert compare(
+        matrix_rows(cpus=1, fig10_quick_jobs4=slow),
+        matrix_rows(cpus=4, fig10_quick_jobs4=row),
+        25.0,
+    ) == []
+    # Same core count: it gates.
+    slow_same = {"wall_seconds": 9.0, "jobs": 4, "cpus": 4}
+    failures = compare(
+        matrix_rows(cpus=4, fig10_quick_jobs4=slow_same),
+        matrix_rows(cpus=4, fig10_quick_jobs4=row),
+        25.0,
+    )
+    assert len(failures) == 1 and "fig10_quick_jobs4" in failures[0]
+
+
+def test_jobs1_rows_gate_regardless_of_core_count():
+    base = {"wall_seconds": 1.0, "jobs": 1, "cpus": 4}
+    slow = {"wall_seconds": 2.0, "jobs": 1, "cpus": 1}
+    failures = compare(
+        matrix_rows(cpus=1, fig10_quick_jobs1=slow),
+        matrix_rows(cpus=4, fig10_quick_jobs1=base),
+        25.0,
+    )
+    assert len(failures) == 1
+
+
+def test_baseline_only_multijob_row_is_not_a_dropped_workload():
+    # A 4-core baseline measured jobs=4; a 1-core host never will.
+    row = {"wall_seconds": 4.0, "jobs": 4, "cpus": 4}
+    assert compare(
+        matrix_rows(cpus=1),
+        matrix_rows(cpus=4, fig10_quick_jobs4=row),
+        25.0,
+    ) == []
+
+
+def test_legacy_baseline_rows_without_jobs_field_match_by_name():
+    # Pre-matrix baselines recorded no per-row jobs/cpus; the name
+    # fallback must still treat *_jobs4 as host-derived.
+    legacy = {"wall_seconds": 4.0}
+    assert compare(
+        matrix_rows(cpus=1),
+        {"cpus": 1, "results": {"fig10_quick_jobs4": legacy}},
+        25.0,
+    ) == []
+
+
+def test_quick_run_skips_full_matrix_rows():
+    base_full = matrix_rows(
+        cpus=1,
+        burst_faulted={"wall_seconds": 2.0},
+        burst_reference={"wall_seconds": 1.0},
+    )
+    quick = matrix_rows(
+        cpus=1, quick=True, burst_reference={"wall_seconds": 1.0}
+    )
+    assert compare(quick, base_full, 25.0) == []
+
+
+def test_workload_matrix_covers_serial_and_all_cores():
+    rows = workload_matrix(quick=False)
+    jobs = jobs_matrix()
+    assert "burst_reference" in rows and "burst_faulted" in rows
+    for j in jobs:
+        assert f"fig10_quick_jobs{j}" in rows
+    quick_rows = workload_matrix(quick=True)
+    assert "burst_faulted" not in quick_rows
+    assert "fig10_quick_jobs1" in quick_rows
+    assert f"fig10_quick_jobs{jobs[-1]}" in quick_rows

@@ -1,24 +1,37 @@
 #!/usr/bin/env python3
 """Benchmark harness for the simulator's hot path and the parallel runner.
 
-Measures a fixed workload matrix:
+Measures a fixed single-experiment reference plus a host-derived
+multi-core matrix:
 
 * ``burst_reference`` — one 100 Gbps burst experiment at paper scale
   (ring 1024, TouchDrop), the single-experiment speed reference;
-* ``fig10_quick_jobs1`` / ``fig10_quick_jobsN`` — the fig10 quick sweep
-  run serially and through the process-pool runner, which measures the
-  sweep-level scaling the runner provides on this host.
+* ``burst_faulted`` — the same burst under the standard fault plan
+  (overhead of live injection on the hot path);
+* ``fig10_quick_jobs<J>`` — the fig10 quick sweep through the warm
+  process-pool runner for every ``J`` in ``sorted({1, 2, N})`` where
+  ``N`` is this host's scheduler-visible core count.  Each row records
+  the worker count, the host core count, and the chunk size the runner
+  chose, so sweep-scaling regressions are attributable from the JSON
+  alone.  The pool is pre-warmed outside the timed region (steady-state
+  sweep cost, not fork cost) and torn down between rows so no row
+  inherits the previous row's workers.
 
 Results (wall seconds, simulated events/sec, peak RSS) are written to
 ``BENCH_<date>.json`` next to the repository root.  ``--check`` reruns
 the matrix and fails if any workload's wall time regressed more than
 ``--threshold`` (default 25%) against the most recent committed
-``BENCH_*.json`` — wired up as ``make bench-check``.
+``BENCH_*.json`` — wired up as ``make bench-check``.  Rows are matched
+by name; multi-job rows additionally require the baseline host's core
+count to match (a jobs=4 row measured on a 4-core host says nothing
+about a 1-core host), and are reported informationally otherwise.
+``--quick`` trims the matrix for CI smoke runs (``make bench-smoke``).
 
 Usage::
 
     PYTHONPATH=src python tools/bench.py            # measure + write json
     PYTHONPATH=src python tools/bench.py --check    # regression gate
+    PYTHONPATH=src python tools/bench.py --quick --check --threshold 150
 """
 
 from __future__ import annotations
@@ -36,7 +49,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.harness import figures  # noqa: E402
+from repro.harness import figures, runner  # noqa: E402
 from repro.harness.experiment import Experiment  # noqa: E402
 from repro.harness.runner import run_experiment_summary  # noqa: E402
 
@@ -79,39 +92,72 @@ def _bench_burst_faulted() -> dict:
 
 
 def _bench_fig10_quick(jobs: int) -> dict:
+    # Pre-warm outside the timed region: the row measures steady-state
+    # sweep throughput, not one-time fork/import cost.  (get_pool returns
+    # None for jobs<=1 or on pool-less hosts; the sweep then runs serial
+    # and the row is still comparable via its recorded dispatch mode.)
+    if jobs > 1:
+        runner.get_pool(jobs)
     start = time.perf_counter()
     report = figures.fig10(
         ring_size=256, include_static=False, corun_rates=(25.0,), jobs=jobs
     )
     wall = time.perf_counter() - start
     events = sum(s.events_fired for s in report.results.values())
-    return {
+    dispatch = dict(runner.last_dispatch)
+    row = {
         "wall_seconds": wall,
         "events": events,
         "events_per_second": events / wall if wall > 0 else 0.0,
         "experiments": len(report.results),
         "jobs": jobs,
+        "cpus": runner.default_jobs(),
+        "dispatch_mode": dispatch.get("mode"),
+        "chunksize": dispatch.get("chunksize"),
     }
+    # Fresh workers for the next row: no row inherits this row's pool.
+    runner.shutdown_pool()
+    return row
 
 
-WORKLOADS = {
-    "burst_reference": _bench_burst_reference,
-    "burst_faulted": _bench_burst_faulted,
-    "fig10_quick_jobs1": lambda: _bench_fig10_quick(1),
-    "fig10_quick_jobs4": lambda: _bench_fig10_quick(4),
-}
+def jobs_matrix() -> list[int]:
+    """Worker counts measured per sweep workload: 1, 2, and all cores."""
+    return sorted({1, 2, runner.default_jobs()})
 
 
-def run_matrix() -> dict:
+def workload_matrix(quick: bool = False) -> dict:
+    """Name -> thunk for every workload of this run.
+
+    ``quick`` keeps one serial sweep row and one all-cores row (the two
+    ends of the scaling curve) and drops the faulted burst — the CI
+    smoke configuration.
+    """
+    workloads = {"burst_reference": _bench_burst_reference}
+    if not quick:
+        workloads["burst_faulted"] = _bench_burst_faulted
+    matrix = jobs_matrix()
+    if quick:
+        matrix = sorted({1, matrix[-1]})
+    for j in matrix:
+
+        def _thunk(jobs: int = j) -> dict:
+            return _bench_fig10_quick(jobs)
+
+        workloads[f"fig10_quick_jobs{j}"] = _thunk
+    return workloads
+
+
+def run_matrix(quick: bool = False) -> dict:
     results = {}
-    for name, fn in WORKLOADS.items():
+    for name, fn in workload_matrix(quick).items():
         print(f"  {name} ...", end="", flush=True)
         results[name] = fn()
         print(f" {results[name]['wall_seconds']:.2f}s")
     return {
         "date": _dt.date.today().isoformat(),
         "python": sys.version.split()[0],
-        "cpus": os.cpu_count(),
+        "cpus": runner.default_jobs(),
+        "quick": quick,
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "results": results,
     }
@@ -122,12 +168,30 @@ def latest_committed() -> Path | None:
     return Path(files[-1]) if files else None
 
 
+def _row_cpus(row: dict, run: dict) -> int | None:
+    """A row's host core count: per-row when recorded, else run-level."""
+    cpus = row.get("cpus")
+    return cpus if cpus is not None else run.get("cpus")
+
+
+def _is_multijob(row: dict, name: str) -> bool:
+    jobs = row.get("jobs")
+    if jobs is not None:
+        return jobs > 1
+    # Old baselines without a jobs field: fall back to the row name.
+    return "jobs" in name and not name.endswith("jobs1")
+
+
 def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
     """Per-workload comparison; returns the list of failure descriptions.
 
-    A failure is either a wall-time regression beyond ``threshold_pct`` or
-    a workload present in the baseline but absent from the current run
-    (a silently-dropped workload must not pass the gate).
+    Rows are matched by name.  A failure is a wall-time regression beyond
+    ``threshold_pct`` on a comparable row, or a comparable row present in
+    the baseline but absent from the current run (a silently-dropped
+    workload must not pass the gate).  Multi-job rows are only comparable
+    when both hosts have the same core count — the jobs matrix is
+    host-derived, so a jobs=4 baseline row from a 4-core host is
+    informational on any other host, as is its absence.
     """
     failures: list[str] = []
     baseline_results = baseline.get("results", {})
@@ -138,8 +202,13 @@ def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
             continue
         base_wall, cur_wall = base["wall_seconds"], cur["wall_seconds"]
         delta_pct = (cur_wall - base_wall) / base_wall * 100.0
+        comparable = not _is_multijob(cur, name) or (
+            _row_cpus(base, baseline) == _row_cpus(cur, current)
+        )
         status = "ok"
-        if delta_pct > threshold_pct:
+        if not comparable:
+            status = "informational (baseline measured on a different core count)"
+        elif delta_pct > threshold_pct:
             status = f"REGRESSION (> {threshold_pct:g}%)"
             failures.append(
                 f"{name} {delta_pct:+.1f}% ({base_wall:.2f}s -> {cur_wall:.2f}s)"
@@ -148,10 +217,19 @@ def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
             f"  {name}: {base_wall:.2f}s -> {cur_wall:.2f}s "
             f"({delta_pct:+.1f}%) {status}"
         )
-    for name in baseline_results:
-        if name not in current["results"]:
-            print(f"  {name}: in baseline but not measured -- workload dropped?")
-            failures.append(f"{name} missing from current run")
+    for name, base in baseline_results.items():
+        if name in current["results"]:
+            continue
+        if _is_multijob(base, name):
+            # Host-derived row (e.g. jobs=4 on a 4-core baseline host):
+            # its absence from this host's matrix is expected.
+            print(f"  {name}: baseline-only multi-job row (host matrix differs)")
+            continue
+        if current.get("quick"):
+            print(f"  {name}: not part of the quick matrix")
+            continue
+        print(f"  {name}: in baseline but not measured -- workload dropped?")
+        failures.append(f"{name} missing from current run")
     return failures
 
 
@@ -185,6 +263,12 @@ def main(argv=None) -> int:
         help="allowed wall-time regression percentage for --check (default 25)",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="trimmed matrix for CI smoke runs (reference burst + the two "
+        "ends of the sweep scaling curve)",
+    )
+    parser.add_argument(
         "--out",
         help="output path (default BENCH_<date>.json in the repo root; "
         "'-' skips writing)",
@@ -192,7 +276,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     print("running benchmark matrix:")
-    current = run_matrix()
+    current = run_matrix(quick=args.quick)
 
     if args.check:
         return check(current, args.threshold)
