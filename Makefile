@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-benchmarks bench bench-check bench-smoke validate lint analyze check faults-smoke
+.PHONY: test test-benchmarks bench bench-check bench-smoke validate lint analyze check faults-smoke rack-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,12 @@ check:
 # invariant (see docs/api.md).
 faults-smoke:
 	$(PYTHON) -m repro.cli faults --quick --checked --jobs 4
+
+# Rack-tier smoke gate: a tiny 2-server rack sweep with the invariant
+# sanitizer attached to every server (see `repro rack --help`).
+rack-smoke:
+	$(PYTHON) -m repro.cli rack --servers 2 --flows 1024 --rate 20 \
+		--duration-us 100 --jobs 2 --checked
 
 test-benchmarks:
 	$(PYTHON) -m pytest benchmarks -q

@@ -36,7 +36,10 @@ from .api import (
     FaultPlan,
     FaultSpec,
     PolicyConfig,
+    RackConfig,
+    RackSummary,
     ServerConfig,
+    SimulatedRack,
     SimulatedServer,
     Simulator,
     SweepRecord,
@@ -48,12 +51,13 @@ from .api import (
     run_experiment,
     run_experiments,
     run_policy_comparison,
+    run_rack,
     run_sweep,
     standard_plan,
     units,
 )
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Experiment",
@@ -65,7 +69,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "PolicyConfig",
+    "RackConfig",
+    "RackSummary",
     "ServerConfig",
+    "SimulatedRack",
     "SimulatedServer",
     "Simulator",
     "SweepRecord",
@@ -77,6 +84,7 @@ __all__ = [
     "run_experiment",
     "run_experiments",
     "run_policy_comparison",
+    "run_rack",
     "run_sweep",
     "standard_plan",
     "units",

@@ -17,7 +17,10 @@ The facade covers the three things external code does:
   crash retry, and a partial-result :class:`SweepResult`;
 * **fault injection** — :class:`FaultPlan` / :class:`FaultSpec` /
   :func:`standard_plan` schedules riding inside ``ServerConfig``, with
-  injections observable as :class:`FaultEvent` counts.
+  injections observable as :class:`FaultEvent` counts;
+* **rack-scale sweeps** — :class:`RackConfig` / :class:`SimulatedRack` /
+  :func:`run_rack`, a ToR load balancer steering flows across N servers
+  and folding per-server summaries into a :class:`RackSummary`.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from .harness.runner import (
     run_sweep,
 )
 from .harness.server import ServerConfig, SimulatedServer
+from .rack import RackConfig, RackSummary, SimulatedRack, run_rack
 from .sim import Simulator, units
 
 
@@ -71,7 +75,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "PolicyConfig",
+    "RackConfig",
+    "RackSummary",
     "ServerConfig",
+    "SimulatedRack",
     "SimulatedServer",
     "Simulator",
     "SweepRecord",
@@ -83,6 +90,7 @@ __all__ = [
     "run_experiment",
     "run_experiments",
     "run_policy_comparison",
+    "run_rack",
     "run_sweep",
     "standard_plan",
     "units",

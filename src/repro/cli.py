@@ -11,6 +11,7 @@ Installed as the ``idio-repro`` console script::
     idio-repro trace --out idio-trace.json         # Chrome-trace export
     idio-repro check --quick                       # sanitizer + determinism
     idio-repro faults --quick                      # degradation matrix
+    idio-repro rack --servers 4 --jobs 4           # rack-scale fleet sweep
 
 The flag vocabulary is shared across subcommands via argparse parent
 parsers: every command that runs experiments accepts the same
@@ -206,6 +207,67 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="transactions between structural-barrier sweeps "
         "(default: %(default)s)",
+    )
+
+    rack_p = sub.add_parser(
+        "rack",
+        help="run a rack-scale sweep: a ToR load balancer steering flows "
+        "across N simulated servers",
+        parents=[_jobs_parent(), _policy_parent("ddio")],
+    )
+    rack_p.add_argument(
+        "--servers",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="servers behind the ToR switch (default: %(default)s)",
+    )
+    rack_p.add_argument(
+        "--flows",
+        type=_positive_int,
+        default=8192,
+        metavar="N",
+        help="concurrent flows the ToR flow table steers (default: %(default)s)",
+    )
+    rack_p.add_argument(
+        "--steering",
+        choices=("rss", "rendezvous"),
+        default="rss",
+        help="flow-to-server steering mode (default: %(default)s)",
+    )
+    rack_p.add_argument(
+        "--profile",
+        choices=("steady", "poisson", "imix", "heavytail", "diurnal"),
+        default="heavytail",
+        help="rack traffic profile (default: %(default)s)",
+    )
+    rack_p.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="aggregate offered load across the rack in Gbps (default: %(default)s)",
+    )
+    rack_p.add_argument(
+        "--duration-us",
+        type=float,
+        default=200.0,
+        help="traffic duration per server (default: %(default)s)",
+    )
+    rack_p.add_argument(
+        "--seed", type=int, default=0, help="rack master seed (default: %(default)s)"
+    )
+    rack_p.add_argument(
+        "--checked",
+        action="store_true",
+        help="attach the invariant sanitizer to every server",
+    )
+    rack_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="export per-server lanes as a Chrome-trace JSON",
+    )
+    rack_p.add_argument(
+        "--out", metavar="PATH", help="write the rack summary JSON to this file"
     )
 
     trace_p = sub.add_parser(
@@ -624,6 +686,55 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return sweep.exit_code
 
 
+def cmd_rack(args: argparse.Namespace) -> int:
+    """Run one rack sweep and print the per-server + aggregate table.
+
+    With ``--trace-out`` a :class:`~repro.obs.trace.RackTraceRecorder`
+    subscribes to the rack bus before the sweep, so every server shows up
+    as its own Chrome-trace process with counter lanes per stream.
+    """
+    import json
+
+    from .obs.trace import RackTraceRecorder
+    from .rack import RackConfig, SimulatedRack
+
+    config = RackConfig(
+        name="cli-rack",
+        num_servers=args.servers,
+        server=ServerConfig(
+            policy=policies.policy_by_name(args.policy),
+            checked_mode=args.checked,
+        ),
+        total_flows=args.flows,
+        steering=args.steering,
+        traffic=args.profile,
+        offered_gbps=args.rate,
+        duration_us=args.duration_us,
+        seed=args.seed,
+    )
+    rack = SimulatedRack(config)
+    recorder = None
+    if args.trace_out:
+        recorder = RackTraceRecorder()
+        recorder.attach(rack.bus)
+    summary = rack.run(jobs=args.jobs)
+    print(summary.render())
+    print(f"rack fingerprint: {summary.fingerprint}")
+    print(
+        f"[{summary.events_fired} events in {summary.wall_seconds:.2f}s "
+        "sim wall time]"
+    )
+    if recorder is not None:
+        events = recorder.export(args.trace_out)
+        print(f"wrote {events} trace events to {args.trace_out}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(summary.to_json(), fh, indent=2)
+            fh.write("\n")
+        print(f"(rack summary written to {args.out})")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run the reference burst experiment with tracing; export Chrome JSON.
 
@@ -671,6 +782,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": cmd_figure,
         "validate": cmd_validate,
         "check": cmd_check,
+        "rack": cmd_rack,
         "trace": cmd_trace,
         "faults": cmd_faults,
     }

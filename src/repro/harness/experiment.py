@@ -37,9 +37,9 @@ class Experiment:
 
     name: str = "experiment"
     server: ServerConfig = field(default_factory=ServerConfig)
-    #: "bursty", "steady", "poisson", or "imix".
+    #: "bursty", "steady", "poisson", "imix", "heavytail", or "diurnal".
     traffic: str = "bursty"
-    #: Seed for the stochastic traffic kinds (poisson/imix).
+    #: Seed for the stochastic traffic kinds (poisson/imix/heavytail/diurnal).
     traffic_seed: int = 0
     burst_rate_gbps: float = 100.0
     packets_per_burst: Optional[int] = None
@@ -47,6 +47,13 @@ class Experiment:
     burst_period: int = units.milliseconds(10)
     steady_rate_gbps_per_nf: float = 10.0
     steady_duration: int = units.milliseconds(1)
+    #: Pareto shape for ``traffic="heavytail"`` (must exceed 1).
+    heavy_tail_alpha: float = 1.5
+    #: Peak rate for ``traffic="diurnal"``; the trough is
+    #: ``steady_rate_gbps_per_nf`` (``None`` = 2x the trough).
+    diurnal_peak_gbps_per_nf: Optional[float] = None
+    #: One simulated "day" for ``traffic="diurnal"``.
+    diurnal_period: int = units.milliseconds(1)
     #: Extra time after the traffic ends to let the CPUs drain the rings.
     drain_allowance: int = units.milliseconds(8)
     traffic_start: int = units.microseconds(20)
@@ -398,6 +405,28 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
         offered = server.inject_poisson(
             experiment.steady_rate_gbps_per_nf,
             experiment.steady_duration,
+            start=experiment.traffic_start,
+            seed=experiment.traffic_seed,
+        )
+        traffic_end = experiment.traffic_start + experiment.steady_duration
+    elif experiment.traffic == "heavytail":
+        offered = server.inject_heavy_tail(
+            experiment.steady_rate_gbps_per_nf,
+            experiment.steady_duration,
+            alpha=experiment.heavy_tail_alpha,
+            start=experiment.traffic_start,
+            seed=experiment.traffic_seed,
+        )
+        traffic_end = experiment.traffic_start + experiment.steady_duration
+    elif experiment.traffic == "diurnal":
+        peak = experiment.diurnal_peak_gbps_per_nf
+        if peak is None:
+            peak = 2.0 * experiment.steady_rate_gbps_per_nf
+        offered = server.inject_diurnal(
+            experiment.steady_rate_gbps_per_nf,
+            peak,
+            experiment.steady_duration,
+            period=experiment.diurnal_period,
             start=experiment.traffic_start,
             seed=experiment.traffic_seed,
         )

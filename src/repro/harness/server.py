@@ -49,7 +49,13 @@ from ..mem.line import num_lines
 from ..mem.stats import StatsBundle
 from ..net.flow import make_flow
 from ..net.packet import MTU_FRAME_BYTES, Packet
-from ..net.traffic import BurstProfile, SteadyProfile, TrafficGenerator
+from ..net.traffic import (
+    BurstProfile,
+    DiurnalProfile,
+    HeavyTailProfile,
+    SteadyProfile,
+    TrafficGenerator,
+)
 from ..nic.classifier import ClassifierConfig
 from ..nic.descriptor import DESCRIPTOR_BYTES
 from ..nic.dma import DMAEngine
@@ -492,6 +498,52 @@ class SimulatedServer:
                 start=start,
                 seed=seed + i,
             )
+        return total
+
+    def inject_heavy_tail(
+        self,
+        rate_gbps_per_nf: float,
+        duration: int,
+        alpha: float = 1.5,
+        start: int = 0,
+        seed: int = 0,
+    ) -> int:
+        """Schedule heavy-tailed (Pareto-gap) traffic on every NF flow."""
+        total = 0
+        for i, gen in enumerate(self.generators):
+            profile = HeavyTailProfile(
+                rate_gbps=rate_gbps_per_nf,
+                duration=duration,
+                alpha=alpha,
+                packet_bytes=self.config.packet_bytes,
+                start=start,
+                seed=seed + i,
+            )
+            total += gen.schedule_heavy_tail(profile)
+        return total
+
+    def inject_diurnal(
+        self,
+        trough_rate_gbps_per_nf: float,
+        peak_rate_gbps_per_nf: float,
+        duration: int,
+        period: int,
+        start: int = 0,
+        seed: int = 0,
+    ) -> int:
+        """Schedule diurnal-swing traffic on every NF flow."""
+        total = 0
+        for i, gen in enumerate(self.generators):
+            profile = DiurnalProfile(
+                trough_rate_gbps=trough_rate_gbps_per_nf,
+                peak_rate_gbps=peak_rate_gbps_per_nf,
+                duration=duration,
+                period=period,
+                packet_bytes=self.config.packet_bytes,
+                start=start,
+                seed=seed + i,
+            )
+            total += gen.schedule_diurnal(profile)
         return total
 
     def inject_imix(

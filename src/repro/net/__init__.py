@@ -1,6 +1,14 @@
-"""Network substrate: packets, flows, and load generators."""
+"""Network substrate: packets, flows, steering, and load generators."""
 
-from .flow import make_flow, make_flows
+from .flow import (
+    FLOW_LANE_SPAN,
+    MAX_FLOWS,
+    STEERING_MODES,
+    FlowSteering,
+    flow_key,
+    make_flow,
+    make_flows,
+)
 from .packet import (
     APP_CLASS_LONG_USE,
     APP_CLASS_SHORT_USE,
@@ -13,6 +21,8 @@ from .packet import (
 from .traffic import (
     IMIX_DISTRIBUTION,
     BurstProfile,
+    DiurnalProfile,
+    HeavyTailProfile,
     SteadyProfile,
     TrafficGenerator,
 )
@@ -21,14 +31,21 @@ __all__ = [
     "APP_CLASS_LONG_USE",
     "APP_CLASS_SHORT_USE",
     "BurstProfile",
+    "DiurnalProfile",
+    "FLOW_LANE_SPAN",
     "FiveTuple",
+    "FlowSteering",
     "HEADER_BYTES",
+    "HeavyTailProfile",
     "IMIX_DISTRIBUTION",
+    "MAX_FLOWS",
     "MTU_FRAME_BYTES",
     "Packet",
+    "STEERING_MODES",
     "SteadyProfile",
     "TrafficGenerator",
     "WIRE_OVERHEAD_BYTES",
+    "flow_key",
     "make_flow",
     "make_flows",
 ]

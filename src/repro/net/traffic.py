@@ -15,6 +15,7 @@ Bursty traffic is parameterized exactly as §VI defines it:
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, Tuple
@@ -60,6 +61,63 @@ class BurstProfile:
     def burst_length(self) -> int:
         """Duration of one burst in ticks (first to last packet)."""
         return self.inter_arrival() * max(0, self.packets_per_burst - 1)
+
+
+@dataclass(frozen=True)
+class HeavyTailProfile:
+    """Pareto (heavy-tailed) inter-arrival gaps at a target mean rate.
+
+    Datacenter inbound traffic is famously not Poisson: a few long idle
+    gaps separate trains of closely spaced packets (the "last mile"
+    observation the rack tier models).  Gaps are drawn from a Pareto
+    distribution with shape ``alpha`` scaled so the *mean* gap matches
+    ``rate_gbps`` — smaller ``alpha`` means burstier trains and longer
+    tails; ``alpha`` must exceed 1 for the mean to exist at all.
+    """
+
+    rate_gbps: float
+    duration: int
+    alpha: float = 1.5
+    packet_bytes: int = MTU_FRAME_BYTES
+    start: int = 0
+    seed: int = 0
+
+    def mean_inter_arrival(self) -> int:
+        """Mean ticks between arrivals (wire-rate spacing at the target)."""
+        wire = self.packet_bytes + 24
+        return units.transfer_time(wire, self.rate_gbps)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """A sinusoidal day/night load swing between a trough and a peak rate.
+
+    The instantaneous rate follows ``trough + (peak - trough) *
+    (1 - cos(2*pi*t / period)) / 2`` — the trough at the start and end of
+    each period, the peak halfway through.  ``period`` is a *simulated*
+    day, compressed to whatever the experiment can afford (the shape, not
+    the wall-time, is what stresses placement policies).  Arrivals are a
+    non-homogeneous Poisson process realized by seeded thinning, so runs
+    replay exactly.
+    """
+
+    trough_rate_gbps: float
+    peak_rate_gbps: float
+    duration: int
+    period: int = units.milliseconds(1)
+    packet_bytes: int = MTU_FRAME_BYTES
+    start: int = 0
+    seed: int = 0
+
+    def rate_at(self, t: int) -> float:
+        """Instantaneous offered rate (Gbps) at tick ``t`` past ``start``."""
+        swing = self.peak_rate_gbps - self.trough_rate_gbps
+        phase = 2.0 * math.pi * (t / self.period)
+        return self.trough_rate_gbps + swing * (1.0 - math.cos(phase)) / 2.0
+
+    def mean_rate_gbps(self) -> float:
+        """The average offered rate over whole periods."""
+        return (self.trough_rate_gbps + self.peak_rate_gbps) / 2.0
 
 
 class TrafficGenerator:
@@ -171,6 +229,77 @@ class TrafficGenerator:
             size = rng.choices(sizes, weights=weights)[0]
             self.sim.schedule_at(t, lambda b=size: self._emit(b), "imix-arrival")
             t += units.transfer_time(size + 24, rate_gbps)
+            count += 1
+        self.packets_scheduled += count
+        return count
+
+    def schedule_heavy_tail(self, profile: HeavyTailProfile) -> int:
+        """Schedule Pareto-gap arrivals; returns the number scheduled.
+
+        Each gap is ``mean_gap * (alpha - 1) / alpha * paretovariate(alpha)``,
+        whose expectation is exactly ``mean_gap`` (the Pareto mean is
+        ``alpha / (alpha - 1)``), so the long-run offered load matches the
+        profile's target rate while individual gaps are heavy-tailed.
+        """
+        if profile.alpha <= 1.0:
+            raise ValueError(
+                f"heavy-tail alpha must exceed 1 (finite mean), got {profile.alpha}"
+            )
+        mean_gap = profile.mean_inter_arrival()
+        if mean_gap <= 0:
+            raise ValueError("heavy-tail profile rate too high for packet size")
+        scale = mean_gap * (profile.alpha - 1.0) / profile.alpha
+        rng = random.Random(profile.seed)
+        count = 0
+        t = float(profile.start)
+        end = profile.start + profile.duration
+        while True:
+            t += scale * rng.paretovariate(profile.alpha)
+            if t >= end:
+                break
+            self.sim.schedule_at(
+                int(t),
+                lambda b=profile.packet_bytes: self._emit(b),
+                "heavytail-arrival",
+            )
+            count += 1
+        self.packets_scheduled += count
+        return count
+
+    def schedule_diurnal(self, profile: DiurnalProfile) -> int:
+        """Schedule diurnal-swing arrivals; returns the number scheduled.
+
+        A non-homogeneous Poisson process by Lewis-Shedler thinning:
+        candidates arrive at the *peak* rate with exponential gaps and
+        each is accepted with probability ``rate(t) / peak`` — exact for
+        any bounded rate function, and deterministic under the seed.
+        """
+        if profile.peak_rate_gbps <= 0:
+            raise ValueError("diurnal peak rate must be positive")
+        if profile.trough_rate_gbps < 0:
+            raise ValueError("diurnal trough rate must be non-negative")
+        if profile.trough_rate_gbps > profile.peak_rate_gbps:
+            raise ValueError("diurnal trough rate exceeds the peak rate")
+        wire = profile.packet_bytes + 24
+        peak_gap = units.transfer_time(wire, profile.peak_rate_gbps)
+        if peak_gap <= 0:
+            raise ValueError("diurnal peak rate too high for packet size")
+        rng = random.Random(profile.seed)
+        count = 0
+        t = float(profile.start)
+        end = profile.start + profile.duration
+        while True:
+            t += rng.expovariate(1.0 / peak_gap)
+            if t >= end:
+                break
+            accept = profile.rate_at(int(t) - profile.start) / profile.peak_rate_gbps
+            if rng.random() >= accept:
+                continue
+            self.sim.schedule_at(
+                int(t),
+                lambda b=profile.packet_bytes: self._emit(b),
+                "diurnal-arrival",
+            )
             count += 1
         self.packets_scheduled += count
         return count

@@ -38,3 +38,32 @@ class PmdBatchEvent:
     core: int
     size: int
     now: int
+
+
+@dataclass(frozen=True, slots=True)
+class ServerLaneSeries:
+    """One server's timeline for one event stream, published rack-level.
+
+    The rack tier runs its servers in worker processes, so per-hop
+    tracing cannot ride home in a summary; instead each finished server
+    contributes its binned ``(time_us, MTPS)`` series per summary stream.
+    A :class:`~repro.obs.trace.RackTraceRecorder` subscribed to the
+    rack's bus renders these as per-server counter lanes in the Chrome
+    trace (one process per server).
+    """
+
+    server: int
+    stream: str
+    #: ``((time_us, mtps), ...)`` — binned throughput samples.
+    points: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class ServerCompletedEvent:
+    """A rack server's experiment finished (one per server per sweep)."""
+
+    server: int
+    flows: int
+    completed: int
+    drops: int
+    fingerprint: str

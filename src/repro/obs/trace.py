@@ -31,7 +31,13 @@ from ..mem.transaction import (
     MemoryTransaction,
 )
 from ..sim import units
-from .events import LlcWritebackEvent, MlcWritebackEvent, PmdBatchEvent
+from .events import (
+    LlcWritebackEvent,
+    MlcWritebackEvent,
+    PmdBatchEvent,
+    ServerCompletedEvent,
+    ServerLaneSeries,
+)
 
 #: Stable Chrome-trace thread ids, one lane per component.
 _COMPONENT_TIDS = {"l1": 1, "mlc": 2, "llc": 3, "dram": 4, "directory": 5}
@@ -264,6 +270,132 @@ class TraceRecorder:
         )
         dropped = f", {self.dropped_events} dropped" if self.dropped_events else ""
         return f"{self.transactions} transactions traced ({cats}){dropped}"
+
+
+class RackTraceRecorder:
+    """Per-server lanes for a rack sweep, exported as a Chrome trace.
+
+    Subscribes to a *rack-level* bus for :class:`ServerLaneSeries` and
+    :class:`ServerCompletedEvent`.  Each server becomes its own trace
+    process (``pid = server + 1``) with one counter lane per summary
+    stream, so a rack's servers read side by side in Perfetto the way a
+    single server's components do in :class:`TraceRecorder`.  Counter
+    values are MTPS, timestamped in microseconds of simulated time.
+    """
+
+    #: Stable per-stream thread ids inside each server's process lane.
+    _STREAM_TIDS = {
+        "pcie_writes": 1,
+        "mlc_writebacks": 2,
+        "llc_writebacks": 3,
+        "mlc_invalidations": 4,
+        "dram_reads": 5,
+        "dram_writes": 6,
+    }
+    _COMPLETION_TID = 7
+
+    def __init__(self) -> None:
+        self.trace_events: List[Dict[str, Any]] = []
+        self.servers_seen: Dict[int, int] = {}  # server -> lane series count
+        self.completions = 0
+        self._bus = None
+
+    def attach(self, bus) -> "RackTraceRecorder":
+        if self._bus is not None:
+            raise RuntimeError("recorder is already attached")
+        bus.subscribe(ServerLaneSeries, self.on_lane_series)
+        bus.subscribe(ServerCompletedEvent, self.on_server_completed)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        self._bus.unsubscribe(ServerLaneSeries, self.on_lane_series)
+        self._bus.unsubscribe(ServerCompletedEvent, self.on_server_completed)
+        self._bus = None
+
+    def on_lane_series(self, event: ServerLaneSeries) -> None:
+        self.servers_seen[event.server] = self.servers_seen.get(event.server, 0) + 1
+        tid = self._STREAM_TIDS.get(event.stream, 0)
+        for t_us, mtps in event.points:
+            self.trace_events.append(
+                {
+                    "name": event.stream,
+                    "ph": "C",
+                    "ts": t_us,
+                    "pid": event.server + 1,
+                    "tid": tid,
+                    "args": {"mtps": mtps},
+                }
+            )
+
+    def on_server_completed(self, event: ServerCompletedEvent) -> None:
+        self.completions += 1
+        self.trace_events.append(
+            {
+                "name": f"server-{event.server} done",
+                "cat": "rack",
+                "ph": "i",
+                "s": "p",
+                "ts": 0.0,
+                "pid": event.server + 1,
+                "tid": self._COMPLETION_TID,
+                "args": {
+                    "flows": event.flows,
+                    "completed": event.completed,
+                    "drops": event.drops,
+                    "fingerprint": event.fingerprint,
+                },
+            }
+        )
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        metadata: List[Dict[str, Any]] = []
+        for server in sorted(self.servers_seen):
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": server + 1,
+                    "args": {"name": f"server-{server}"},
+                }
+            )
+            for stream, tid in sorted(
+                self._STREAM_TIDS.items(), key=lambda kv: kv[1]
+            ):
+                metadata.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": server + 1,
+                        "tid": tid,
+                        "args": {"name": stream},
+                    }
+                )
+        return {
+            "traceEvents": metadata + self.trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "servers": len(self.servers_seen),
+                "completions": self.completions,
+            },
+        }
+
+    def export(self, path: str) -> int:
+        """Write the Chrome-trace JSON to ``path``; returns event count."""
+        trace = self.to_chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+            fh.write("\n")
+        return len(trace["traceEvents"])
+
+    def summary_line(self) -> str:
+        return (
+            f"{len(self.servers_seen)} server lanes, "
+            f"{len(self.trace_events)} samples, "
+            f"{self.completions} completions"
+        )
 
 
 def merge_latency_breakdowns(

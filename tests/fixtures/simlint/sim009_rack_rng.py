@@ -1,0 +1,19 @@
+# simlint-fixture-module: repro.rack.fake
+"""SIM009 fixture: shared / module-level RNG in rack code (5 violations)."""
+import random
+from random import Random, randint
+
+_SHARED = random.Random(1234)  # module-level: one stream for every server
+_ALSO_SHARED = Random(99)  # same, via the imported class
+
+
+def pick_server(num_servers):
+    return random.randrange(num_servers)  # module-global stream
+
+
+def assign_flow(num_servers):
+    return randint(0, num_servers - 1)  # module-global stream
+
+
+def make_stream():
+    return random.Random()  # unseeded

@@ -1,0 +1,15 @@
+# simlint-fixture-module: repro.rack.fake_clean
+"""SIM009 clean control: per-server seeded streams built inside functions."""
+import random
+
+
+def _mix(seed, server):
+    return (seed * 0x9E3779B97F4A7C15 + server + 1) & 0xFFFF_FFFF_FFFF_FFFF
+
+
+def server_stream(seed, server):
+    return random.Random(_mix(seed, server))
+
+
+def traffic_seed(seed, server):
+    return server_stream(seed, server).getrandbits(32)

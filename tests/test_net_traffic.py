@@ -4,7 +4,13 @@ import pytest
 
 from repro.net.flow import make_flow
 from repro.net.packet import Packet
-from repro.net.traffic import BurstProfile, SteadyProfile, TrafficGenerator
+from repro.net.traffic import (
+    BurstProfile,
+    DiurnalProfile,
+    HeavyTailProfile,
+    SteadyProfile,
+    TrafficGenerator,
+)
 from repro.sim import Simulator, units
 
 
@@ -122,6 +128,137 @@ class TestPoissonProfile:
         gen = TrafficGenerator(sim, make_flow(0), lambda p: None)
         with pytest.raises(ValueError):
             gen.schedule_poisson(1e12, units.microseconds(1))
+
+
+class TestHeavyTailProfile:
+    def test_mean_rate_close_to_target(self):
+        # The Pareto gaps are scaled so their mean equals the wire-rate
+        # gap: over a long window the offered load approaches the target.
+        profile = HeavyTailProfile(
+            rate_gbps=25.0, duration=units.milliseconds(4), alpha=1.8, seed=11
+        )
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_heavy_tail(profile))
+        # 25 Gbps of 1538 B frames over 4 ms -> ~8130 packets; the heavy
+        # tail makes the sample mean noisy, hence the loose band.
+        assert len(arrivals) == pytest.approx(8130, rel=0.35)
+        times = [p.arrival_time for p in arrivals]
+        assert times == sorted(times)
+
+    def test_seeded_reproducibility(self):
+        def times(seed):
+            profile = HeavyTailProfile(
+                rate_gbps=10.0, duration=units.milliseconds(1), seed=seed
+            )
+            arrivals, _ = collect_arrivals(
+                lambda g: g.schedule_heavy_tail(profile)
+            )
+            return [p.arrival_time for p in arrivals]
+
+        assert times(7) == times(7)
+        assert times(7) != times(8)
+
+    def test_burstier_than_poisson(self):
+        # Heavy-tailed gaps: the max gap dwarfs the median gap far more
+        # than the exponential's ~log(n) ratio.
+        profile = HeavyTailProfile(
+            rate_gbps=10.0, duration=units.milliseconds(2), alpha=1.2, seed=3
+        )
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_heavy_tail(profile))
+        gaps = sorted(
+            arrivals[i + 1].arrival_time - arrivals[i].arrival_time
+            for i in range(len(arrivals) - 1)
+        )
+        median = gaps[len(gaps) // 2]
+        assert gaps[-1] > 20 * median
+
+    def test_alpha_must_exceed_one(self):
+        sim = Simulator()
+        gen = TrafficGenerator(sim, make_flow(0), lambda p: None)
+        with pytest.raises(ValueError):
+            gen.schedule_heavy_tail(
+                HeavyTailProfile(
+                    rate_gbps=10.0, duration=units.microseconds(10), alpha=1.0
+                )
+            )
+
+
+class TestDiurnalProfile:
+    def test_rate_shape(self):
+        profile = DiurnalProfile(
+            trough_rate_gbps=10.0,
+            peak_rate_gbps=30.0,
+            duration=units.milliseconds(1),
+            period=units.milliseconds(1),
+        )
+        assert profile.rate_at(0) == pytest.approx(10.0)
+        assert profile.rate_at(units.milliseconds(1) // 2) == pytest.approx(30.0)
+        assert profile.rate_at(units.milliseconds(1)) == pytest.approx(10.0)
+        assert profile.mean_rate_gbps() == pytest.approx(20.0)
+
+    def test_mean_rate_over_whole_periods(self):
+        # Over an integer number of periods the realized load sits near
+        # the trough/peak midpoint.
+        period = units.milliseconds(1)
+        profile = DiurnalProfile(
+            trough_rate_gbps=5.0,
+            peak_rate_gbps=15.0,
+            duration=2 * period,
+            period=period,
+            seed=9,
+        )
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_diurnal(profile))
+        # 10 Gbps mean of 1538 B frames over 2 ms -> ~1626 packets.
+        assert len(arrivals) == pytest.approx(1626, rel=0.15)
+
+    def test_peak_half_busier_than_trough_half(self):
+        period = units.milliseconds(1)
+        profile = DiurnalProfile(
+            trough_rate_gbps=2.0,
+            peak_rate_gbps=20.0,
+            duration=period,
+            period=period,
+            seed=4,
+        )
+        arrivals, _ = collect_arrivals(lambda g: g.schedule_diurnal(profile))
+        mid_start, mid_end = period // 4, 3 * period // 4
+        middle = sum(1 for p in arrivals if mid_start <= p.arrival_time < mid_end)
+        edges = len(arrivals) - middle
+        assert middle > 2 * edges
+
+    def test_seeded_reproducibility(self):
+        def times(seed):
+            profile = DiurnalProfile(
+                trough_rate_gbps=5.0,
+                peak_rate_gbps=10.0,
+                duration=units.microseconds(500),
+                period=units.microseconds(250),
+                seed=seed,
+            )
+            arrivals, _ = collect_arrivals(lambda g: g.schedule_diurnal(profile))
+            return [p.arrival_time for p in arrivals]
+
+        assert times(7) == times(7)
+        assert times(7) != times(8)
+
+    def test_invalid_rates_rejected(self):
+        sim = Simulator()
+        gen = TrafficGenerator(sim, make_flow(0), lambda p: None)
+        with pytest.raises(ValueError):
+            gen.schedule_diurnal(
+                DiurnalProfile(
+                    trough_rate_gbps=20.0,
+                    peak_rate_gbps=10.0,
+                    duration=units.microseconds(10),
+                )
+            )
+        with pytest.raises(ValueError):
+            gen.schedule_diurnal(
+                DiurnalProfile(
+                    trough_rate_gbps=-1.0,
+                    peak_rate_gbps=10.0,
+                    duration=units.microseconds(10),
+                )
+            )
 
 
 class TestImixProfile:

@@ -137,3 +137,5 @@ def test_workload_matrix_covers_serial_and_all_cores():
     assert "burst_faulted" not in quick_rows
     assert "fig10_quick_jobs1" in quick_rows
     assert f"fig10_quick_jobs{jobs[-1]}" in quick_rows
+    # The rack tier row rides in both matrices.
+    assert "rack_quick" in rows and "rack_quick" in quick_rows

@@ -15,7 +15,10 @@ multi-core matrix:
   chose, so sweep-scaling regressions are attributable from the JSON
   alone.  The pool is pre-warmed outside the timed region (steady-state
   sweep cost, not fork cost) and torn down between rows so no row
-  inherits the previous row's workers.
+  inherits the previous row's workers;
+* ``rack_quick`` — a 4-server rack sweep (``repro.rack``) sharded over
+  the warm pool, measuring the ToR steering + fold overhead on top of
+  the per-server experiments.
 
 Results (wall seconds, simulated events/sec, peak RSS) are written to
 ``BENCH_<date>.json`` next to the repository root.  ``--check`` reruns
@@ -120,6 +123,43 @@ def _bench_fig10_quick(jobs: int) -> dict:
     return row
 
 
+def _bench_rack_quick() -> dict:
+    # A 4-server rack sweep sharded over the warm pool: measures the
+    # rack tier's fold + steering overhead on top of the per-server
+    # experiments.  Pre-warmed like the fig10 rows; serial fallback on
+    # pool-less hosts stays comparable via the recorded dispatch mode.
+    from repro.rack import RackConfig, run_rack  # noqa: E402
+
+    jobs = min(4, runner.default_jobs())
+    if jobs > 1:
+        runner.get_pool(jobs)
+    config = RackConfig(
+        name="bench-rack",
+        num_servers=4,
+        total_flows=4096,
+        offered_gbps=80.0,
+        duration_us=100.0,
+    )
+    start = time.perf_counter()
+    summary = run_rack(config, jobs=jobs)
+    wall = time.perf_counter() - start
+    dispatch = dict(runner.last_dispatch)
+    row = {
+        "wall_seconds": wall,
+        "events": summary.events_fired,
+        "events_per_second": summary.events_fired / wall if wall > 0 else 0.0,
+        "completed_packets": summary.completed,
+        "servers": config.num_servers,
+        "jobs": jobs,
+        "cpus": runner.default_jobs(),
+        "dispatch_mode": dispatch.get("mode"),
+        "chunksize": dispatch.get("chunksize"),
+        "fingerprint": summary.fingerprint,
+    }
+    runner.shutdown_pool()
+    return row
+
+
 def jobs_matrix() -> list[int]:
     """Worker counts measured per sweep workload: 1, 2, and all cores."""
     return sorted({1, 2, runner.default_jobs()})
@@ -144,6 +184,7 @@ def workload_matrix(quick: bool = False) -> dict:
             return _bench_fig10_quick(jobs)
 
         workloads[f"fig10_quick_jobs{j}"] = _thunk
+    workloads["rack_quick"] = _bench_rack_quick
     return workloads
 
 

@@ -26,10 +26,17 @@ RULES: Dict[str, str] = {
     "SIM006": "EventBus subscriber signature does not match the subscribed event type",
     "SIM007": "tick-vs-wall-time unit suffix mismatch (sim.units conventions)",
     "SIM008": "unguarded top-level numpy import; route through repro.mem._vec",
+    "SIM009": "shared or module-level RNG in rack/fleet code; use seeded per-server streams",
 }
 
 #: Packages whose modules count as simulation code (SIM001/002/003/007).
 SIM_SCOPE = ("repro.sim", "repro.mem", "repro.core", "repro.nic", "repro.cpu", "repro.pcie")
+
+#: Packages whose modules count as rack/fleet code (SIM009).  Fleet code
+#: fans per-server work across processes, so any randomness must come
+#: from a seeded per-server stream (``repro.rack.server_rng``) — shared
+#: module-level RNG state silently decorrelates serial and sharded runs.
+RACK_SCOPE = ("repro.rack",)
 
 #: ``repro.sim.kernel`` owns the wall-seconds diagnostics (events/sec);
 #: it is the one simulation module allowed to read the host clock.
@@ -112,6 +119,10 @@ def _in_sim_scope(module: str) -> bool:
     return any(module == p or module.startswith(p + ".") for p in SIM_SCOPE)
 
 
+def _in_rack_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in RACK_SCOPE)
+
+
 def _suppressions(source: str) -> Dict[int, Set[str]]:
     out: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -157,6 +168,7 @@ class _Checker(ast.NodeVisitor):
         self.path = path
         self.violations: List[Violation] = []
         self.sim_scope = _in_sim_scope(module)
+        self.rack_scope = _in_rack_scope(module)
         self.slots_scope = module in SLOTS_MODULES
         self.wallclock_exempt = module in WALLCLOCK_EXEMPT
         self.numpy_gate = module in NUMPY_GATE_MODULES
@@ -467,6 +479,8 @@ class _Checker(ast.NodeVisitor):
             self._check_wallclock(node, func, name)
         if self.sim_scope:
             self._check_randomness(node, func, name)
+        if self.rack_scope:
+            self._check_rack_randomness(node, func, name)
         if self.module.startswith("repro.") and not self.module.startswith("repro.mem"):
             self._check_legacy_wrapper(node, func, name)
         if name == "subscribe" and isinstance(func, ast.Attribute) and len(node.args) == 2:
@@ -546,6 +560,72 @@ class _Checker(ast.NodeVisitor):
                     "Random() without a seed is nondeterministic; pass an "
                     "explicit seed",
                 )
+
+    def _check_rack_randomness(
+        self, node: ast.Call, func: ast.AST, name: Optional[str]
+    ) -> None:
+        """SIM009: fleet code must derive randomness per server, per seed.
+
+        Three shapes are rejected: module-global ``random.*()`` calls
+        (one shared stream for the whole rack), unseeded ``Random()``
+        construction, and ``Random(seed)`` created at module level (a
+        shared instance every server would consume from).  The blessed
+        shape is a seeded ``Random`` built *inside* a function from a
+        value mixed with the server index (``repro.rack.server_rng``).
+        """
+        advice = (
+            "rack code must draw from a seeded per-server stream "
+            "(see repro.rack.server_rng)"
+        )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.random_aliases
+        ):
+            if name == "Random":
+                if not node.args and not node.keywords:
+                    self._emit(
+                        node, "SIM009", f"random.Random() without a seed; {advice}"
+                    )
+                elif self._function_depth == 0:
+                    self._emit(
+                        node,
+                        "SIM009",
+                        f"module-level random.Random(...) is one shared "
+                        f"stream for every server; {advice}",
+                    )
+            elif name == "SystemRandom":
+                self._emit(
+                    node, "SIM009", f"SystemRandom is inherently unseeded; {advice}"
+                )
+            else:
+                self._emit(
+                    node,
+                    "SIM009",
+                    f"module-global random.{name}() shares one stream "
+                    f"across the fleet; {advice}",
+                )
+            return
+        if isinstance(func, ast.Name):
+            if func.id in self.random_func_names:
+                self._emit(
+                    node,
+                    "SIM009",
+                    f"module-global {func.id}() shares one stream across "
+                    f"the fleet; {advice}",
+                )
+            elif func.id in self.random_class_names:
+                if not node.args and not node.keywords:
+                    self._emit(
+                        node, "SIM009", f"Random() without a seed; {advice}"
+                    )
+                elif self._function_depth == 0:
+                    self._emit(
+                        node,
+                        "SIM009",
+                        f"module-level Random(...) is one shared stream "
+                        f"for every server; {advice}",
+                    )
 
     def _check_legacy_wrapper(self, node: ast.Call, func: ast.AST, name: Optional[str]) -> None:
         if not isinstance(func, ast.Attribute):
