@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-benchmarks bench bench-check bench-smoke validate lint analyze check faults-smoke rack-smoke
+.PHONY: test test-benchmarks bench bench-check bench-smoke validate lint analyze check faults-smoke rack-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,13 @@ faults-smoke:
 rack-smoke:
 	$(PYTHON) -m repro.cli rack --servers 2 --flows 1024 --rate 20 \
 		--duration-us 100 --jobs 2 --checked
+
+# Result-cache daemon smoke gate: boot `repro serve` on a throwaway
+# socket/cache, run the same tiny sweep twice, and require the second
+# pass to be answered entirely from the warm cache with byte-identical
+# fingerprints (see docs/caching.md).
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py
 
 test-benchmarks:
 	$(PYTHON) -m pytest benchmarks -q

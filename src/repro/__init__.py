@@ -38,6 +38,7 @@ from .api import (
     PolicyConfig,
     RackConfig,
     RackSummary,
+    ResultCache,
     ServerConfig,
     SimulatedRack,
     SimulatedServer,
@@ -52,12 +53,13 @@ from .api import (
     run_experiments,
     run_policy_comparison,
     run_rack,
+    run_serve,
     run_sweep,
     standard_plan,
     units,
 )
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "Experiment",
@@ -71,6 +73,7 @@ __all__ = [
     "PolicyConfig",
     "RackConfig",
     "RackSummary",
+    "ResultCache",
     "ServerConfig",
     "SimulatedRack",
     "SimulatedServer",
@@ -85,6 +88,7 @@ __all__ = [
     "run_experiments",
     "run_policy_comparison",
     "run_rack",
+    "run_serve",
     "run_sweep",
     "standard_plan",
     "units",

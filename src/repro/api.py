@@ -20,11 +20,17 @@ The facade covers the three things external code does:
   injections observable as :class:`FaultEvent` counts;
 * **rack-scale sweeps** — :class:`RackConfig` / :class:`SimulatedRack` /
   :func:`run_rack`, a ToR load balancer steering flows across N servers
-  and folding per-server summaries into a :class:`RackSummary`.
+  and folding per-server summaries into a :class:`RackSummary`;
+* **result caching** — :class:`ResultCache`, the fingerprint-keyed
+  on-disk memoization every runner entry point consults (hits are
+  byte-identical to cold recomputes), and :func:`run_serve`, the
+  ``repro serve`` sweep daemon answering repeated sweeps from the warm
+  cache (``docs/caching.md``).
 """
 
 from __future__ import annotations
 
+from .cache import ResultCache, run_serve
 from .core.policies import PolicyConfig, all_policies, ddio, idio
 from .faults import (
     FAULT_KINDS,
@@ -77,6 +83,7 @@ __all__ = [
     "PolicyConfig",
     "RackConfig",
     "RackSummary",
+    "ResultCache",
     "ServerConfig",
     "SimulatedRack",
     "SimulatedServer",
@@ -91,6 +98,7 @@ __all__ = [
     "run_experiments",
     "run_policy_comparison",
     "run_rack",
+    "run_serve",
     "run_sweep",
     "standard_plan",
     "units",

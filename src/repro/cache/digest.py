@@ -1,0 +1,105 @@
+"""The canonical config digest: the result cache's key derivation.
+
+Two experiments that would simulate byte-identically must digest
+identically, and *any* change that could alter a single simulated event
+must change the digest.  The derivation is deliberately conservative:
+the whole :class:`~repro.harness.experiment.Experiment` — including the
+nested :class:`~repro.harness.server.ServerConfig`, policy, NIC,
+classifier, cost-model, and :class:`~repro.faults.plan.FaultPlan`
+dataclasses, and every traffic parameter and seed — is walked field by
+field into a canonical nested tuple, prefixed with the cache schema
+version and ``repro.__version__``, and hashed.  A field we cannot
+canonicalize makes the experiment *uncacheable* rather than guessed at.
+
+Invalidation therefore falls out of the key: bump any config field, any
+seed, the fault plan, or the package version and the digest moves, so
+stale entries are simply never looked up (``repro cache gc`` reclaims
+them).  See ``docs/caching.md`` for the full rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Optional, Tuple
+
+#: Bumped whenever the entry layout or the digest derivation changes:
+#: entries written under a different schema are unreadable by design.
+CACHE_SCHEMA = 1
+
+#: Fault layers whose specs make an experiment uncacheable.  ``harness.*``
+#: faults (crashes, hangs) act on the *sweep runner*, not the simulation;
+#: memoizing their summaries would let a resilience test observe a stale
+#: "crash" that never re-fires.  Force-missing them keeps retry/timeout
+#: paths live on every run.
+UNCACHEABLE_FAULT_LAYERS: Tuple[str, ...] = ("harness",)
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a repr-stable nested tuple for hashing.
+
+    Handles the closed vocabulary an :class:`Experiment` is built from:
+    ``None``, bools, ints, floats, strings, dataclasses (tagged with the
+    class name, fields in declaration order), mappings (sorted by key),
+    and sequences.  Anything else raises :class:`TypeError` — the caller
+    treats that experiment as uncacheable instead of mis-keying it.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(
+                sorted((canonical(k), canonical(v)) for k, v in obj.items())
+            ),
+        )
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(canonical(item) for item in obj))
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for the result cache"
+    )
+
+
+def uncacheable_reason(experiment) -> Optional[str]:
+    """Why ``experiment`` must bypass the cache (``None`` = cacheable)."""
+    plan = experiment.server.fault_plan
+    for spec in plan.specs:
+        if spec.layer in UNCACHEABLE_FAULT_LAYERS:
+            return (
+                f"fault plan contains {spec.kind!r}: harness faults drive "
+                "the sweep runner and must never be memoized"
+            )
+    try:
+        canonical(experiment)
+    except TypeError as exc:
+        return str(exc)
+    return None
+
+
+def is_cacheable(experiment) -> bool:
+    """Whether the result cache may serve or store this experiment."""
+    return uncacheable_reason(experiment) is None
+
+
+def config_digest(experiment, version: Optional[str] = None) -> str:
+    """SHA-256 hex digest keying one experiment's cached result.
+
+    ``version`` defaults to the installed ``repro.__version__``; passing
+    it explicitly exists for tests that prove a version bump invalidates
+    every entry.  Raises :class:`TypeError` for uncanonicalizable
+    experiments — use :func:`is_cacheable` first.
+    """
+    if version is None:
+        from .. import __version__ as version
+    payload = repr(
+        ("repro-result-cache", CACHE_SCHEMA, version, canonical(experiment))
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,348 @@
+"""``repro serve``: a long-running sweep daemon over the result cache.
+
+The ROADMAP's "long-running service mode": instead of paying interpreter
+start-up, pool warm-up, and cold simulation for every sweep, a daemon
+holds the warm worker pool and the result cache open and serves sweep
+requests over a Unix-domain socket.  Repeated or overlapping sweeps are
+answered from the cache (typically in milliseconds); only genuinely new
+configs simulate.
+
+Protocol (stdlib-only, JSON lines):
+
+* The client connects, writes **one** request object on a single line,
+  and half-closes its write side.
+* The daemon streams back one JSON object per line: zero or more
+  ``{"event": "cache", ...}`` progress lines (mirroring the typed
+  ``CacheHitEvent``/``CacheMissEvent``/``CacheStoreEvent`` traffic on the
+  obs bus, live, as the sweep runs), then one ``{"event": "result", ...}``
+  per experiment, then a terminal ``{"event": "done", ...}`` /
+  ``{"event": "pong"}`` / ``{"event": "stats"}`` / ``{"event": "bye"}`` /
+  ``{"event": "error"}`` line.
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "sweep", "experiments": [SPEC, ...], "jobs": 1}
+    {"op": "shutdown"}
+
+where ``SPEC`` uses the CLI flag vocabulary as JSON keys — see
+:func:`experiment_from_spec` and ``docs/caching.md``.
+
+Connections are handled one at a time: the pool and cache are process-
+wide resources, and a serial accept loop keeps results deterministic and
+the implementation honest about where time goes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..obs.events import CacheHitEvent, CacheMissEvent, CacheStoreEvent
+from ..sim import units
+from .store import ResultCache
+
+#: JSON spec keys -> CLI flag vocabulary (see ``_workload_parent`` /
+#: ``_experiment_from_args`` in :mod:`repro.cli`): every key matches the
+#: long spelling of the corresponding ``idio-repro`` flag.
+SPEC_KEYS = (
+    "name",
+    "policy",
+    "workload",
+    "ring",
+    "packet_bytes",
+    "traffic",
+    "rate",
+    "bursts",
+    "duration_us",
+    "antagonist",
+    "recycle",
+    "nf_cores",
+    "seed",
+)
+
+
+def experiment_from_spec(spec: Dict[str, Any]):
+    """Build an :class:`~repro.harness.experiment.Experiment` from a JSON spec.
+
+    Mirrors the CLI: ``{"policy": "idio", "workload": "touchdrop",
+    "ring": 256, "rate": 25.0}`` means the same as ``idio-repro run
+    --policy idio --workload touchdrop --ring 256 --rate 25``.  Unknown
+    keys raise :class:`ValueError` (a typo must not silently key a
+    different cache entry).
+    """
+    from ..core import policies
+    from ..harness.experiment import Experiment
+    from ..harness.server import APP_FACTORIES, ServerConfig
+
+    if not isinstance(spec, dict):
+        raise ValueError(f"experiment spec must be an object, got {type(spec).__name__}")
+    unknown = sorted(set(spec) - set(SPEC_KEYS))
+    if unknown:
+        raise ValueError(f"unknown experiment spec keys: {', '.join(unknown)}")
+    policy_name = str(spec.get("policy", "ddio"))
+    app = str(spec.get("workload", "touchdrop"))
+    if app not in APP_FACTORIES:
+        raise ValueError(f"unknown workload {app!r}")
+    traffic = str(spec.get("traffic", "bursty"))
+    rate = float(spec.get("rate", 25.0))
+    server = ServerConfig(
+        policy=policies.policy_by_name(policy_name),
+        app=app,
+        ring_size=int(spec.get("ring", 1024)),
+        packet_bytes=int(spec.get("packet_bytes", 1514)),
+        antagonist=bool(spec.get("antagonist", False)),
+        recycle_mode=str(spec.get("recycle", "run_to_completion")),
+        num_nf_cores=int(spec.get("nf_cores", 2)),
+    )
+    return Experiment(
+        name=str(spec.get("name", f"serve-{policy_name}")),
+        server=server,
+        traffic=traffic,
+        traffic_seed=int(spec.get("seed", 0)),
+        burst_rate_gbps=rate,
+        num_bursts=int(spec.get("bursts", 1)),
+        steady_rate_gbps_per_nf=rate,
+        steady_duration=units.microseconds(float(spec.get("duration_us", 1500.0))),
+    )
+
+
+class ServeDaemon:
+    """The accept loop: one socket, one cache, one warm pool."""
+
+    def __init__(
+        self,
+        socket_path,
+        cache: ResultCache,
+        jobs: int = 1,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.cache = cache
+        self.jobs = jobs
+        #: Stop after this many requests (tests / smoke runs); ``None`` =
+        #: run until a ``shutdown`` request arrives.
+        self.max_requests = max_requests
+        self.requests_served = 0
+        self._listener: Optional[socket.socket] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self) -> None:
+        """Create and listen on the Unix socket (unlinking any stale one)."""
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(4)
+        self._listener = listener
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    def serve_forever(self) -> int:
+        """Accept and handle requests until shutdown; returns the count."""
+        if self._listener is None:
+            self.bind()
+        assert self._listener is not None
+        try:
+            while True:
+                conn, _ = self._listener.accept()
+                with conn:
+                    stop = self._handle_connection(conn)
+                self.requests_served += 1
+                if stop:
+                    break
+                if (
+                    self.max_requests is not None
+                    and self.requests_served >= self.max_requests
+                ):
+                    break
+        finally:
+            self.close()
+        return self.requests_served
+
+    # -- request handling ----------------------------------------------
+
+    def _handle_connection(self, conn: socket.socket) -> bool:
+        """Serve one connection; returns True when asked to shut down."""
+        out = conn.makefile("w", encoding="utf-8", newline="\n")
+        try:
+            request = self._read_request(conn)
+            op = request.get("op")
+            if op == "ping":
+                self._send(out, {"event": "pong", "version": self.cache.version})
+            elif op == "stats":
+                self._send(out, {"event": "stats", "stats": self.cache.stats()})
+            elif op == "sweep":
+                self._handle_sweep(out, request)
+            elif op == "shutdown":
+                self._send(out, {"event": "bye", "requests": self.requests_served + 1})
+                return True
+            else:
+                self._send(out, {"event": "error", "message": f"unknown op {op!r}"})
+        except Exception as exc:  # report, keep serving
+            try:
+                self._send(out, {"event": "error", "message": str(exc)})
+            except OSError:
+                pass
+        finally:
+            try:
+                out.close()
+            except OSError:
+                pass
+        return False
+
+    def _handle_sweep(self, out, request: Dict[str, Any]) -> None:
+        from ..harness.runner import run_experiments
+
+        specs = request.get("experiments")
+        if not isinstance(specs, list) or not specs:
+            raise ValueError('"sweep" needs a non-empty "experiments" list')
+        experiments = [experiment_from_spec(spec) for spec in specs]
+        jobs = int(request.get("jobs", self.jobs))
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        bus = self.cache.bus
+        handlers = [
+            (CacheHitEvent, lambda e: self._send(
+                out, {"event": "cache", "kind": "hit", "name": e.name,
+                      "digest": e.digest})),
+            (CacheMissEvent, lambda e: self._send(
+                out, {"event": "cache", "kind": "miss", "name": e.name,
+                      "digest": e.digest, "reason": e.reason})),
+            (CacheStoreEvent, lambda e: self._send(
+                out, {"event": "cache", "kind": "store", "name": e.name,
+                      "digest": e.digest, "bytes": e.num_bytes})),
+        ]
+        for event_type, handler in handlers:
+            bus.subscribe(event_type, handler)
+        try:
+            summaries = run_experiments(experiments, jobs=jobs, cache=self.cache)
+        finally:
+            for event_type, handler in handlers:
+                bus.unsubscribe(event_type, handler)
+        from ..analysis.determinism import fingerprint_digest
+
+        for summary in summaries:
+            self._send(
+                out,
+                {
+                    "event": "result",
+                    "name": summary.experiment.name,
+                    "policy": summary.policy_name,
+                    "completed": summary.completed,
+                    "drops": summary.rx_drops,
+                    "fingerprint": fingerprint_digest(summary),
+                },
+            )
+        self._send(
+            out,
+            {
+                "event": "done",
+                "experiments": len(experiments),
+                "hits": self.cache.hits - hits0,
+                "misses": self.cache.misses - misses0,
+            },
+        )
+
+    @staticmethod
+    def _read_request(conn: socket.socket) -> Dict[str, Any]:
+        """One JSON object: the first line of the client's half-closed stream."""
+        chunks: List[bytes] = []
+        while b"\n" not in (chunks[-1] if chunks else b""):
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        line = b"".join(chunks).split(b"\n", 1)[0]
+        if not line.strip():
+            raise ValueError("empty request")
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        return request
+
+    @staticmethod
+    def _send(out, obj: Dict[str, Any]) -> None:
+        out.write(json.dumps(obj, sort_keys=True) + "\n")
+        out.flush()
+
+
+def submit(socket_path, request: Dict[str, Any], timeout: float = 300.0) -> List[Dict]:
+    """Send one request to a running daemon; returns every response line.
+
+    The last element is the terminal event (``done``/``pong``/``stats``/
+    ``bye``/``error``); earlier elements are live ``cache`` progress and
+    per-experiment ``result`` lines in arrival order.
+    """
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+        conn.settimeout(timeout)
+        conn.connect(str(socket_path))
+        conn.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        conn.shutdown(socket.SHUT_WR)
+        reader = conn.makefile("r", encoding="utf-8")
+        return [json.loads(line) for line in reader if line.strip()]
+
+
+def run_serve(
+    socket_path,
+    cache: Optional[ResultCache] = None,
+    cache_dir=None,
+    jobs: int = 1,
+    max_requests: Optional[int] = None,
+) -> int:
+    """Run the serve daemon until shutdown; returns requests served.
+
+    Exported on the stable facade.  Pass an existing :class:`ResultCache`
+    or a ``cache_dir`` to create one (``cache_dir=None`` uses
+    ``REPRO_CACHE_DIR`` or the default under the working directory — see
+    :func:`repro.cache.default_cache_dir`).
+    """
+    from . import default_cache_dir
+    from ..harness.runner import shutdown_pool
+
+    if cache is None:
+        root = cache_dir if cache_dir is not None else default_cache_dir()
+        cache = ResultCache(root)
+    daemon = ServeDaemon(socket_path, cache, jobs=jobs, max_requests=max_requests)
+    try:
+        return daemon.serve_forever()
+    finally:
+        shutdown_pool()
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """``python -m repro.cache.serve`` — used by ``make serve-smoke``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="repro result-cache serve daemon")
+    parser.add_argument("--socket", required=True, help="Unix socket path")
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after N requests (smoke tests)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    served = run_serve(
+        args.socket,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        max_requests=args.max_requests,
+    )
+    print(f"served {served} request(s) on {args.socket}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by serve-smoke
+    raise SystemExit(main())

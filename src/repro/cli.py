@@ -12,11 +12,17 @@ Installed as the ``idio-repro`` console script::
     idio-repro check --quick                       # sanitizer + determinism
     idio-repro faults --quick                      # degradation matrix
     idio-repro rack --servers 4 --jobs 4           # rack-scale fleet sweep
+    idio-repro compare --cache-dir .repro-cache    # memoize the sweep
+    idio-repro cache stats                         # result-cache census
+    idio-repro serve --socket /tmp/repro.sock      # sweep daemon
 
 The flag vocabulary is shared across subcommands via argparse parent
 parsers: every command that runs experiments accepts the same
 ``--workload``/``--app``, ``--policy``, ``--jobs``, ``--seed``, and
-``--out`` spellings with the same semantics.
+``--out`` spellings with the same semantics.  Caching is opt-in:
+``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable)
+installs a result cache for the invocation, and ``--no-cache`` disables
+it even when the variable is set.
 """
 
 from __future__ import annotations
@@ -109,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser(
         "compare",
         help="run several policies on one workload",
-        parents=[_workload_parent(), _jobs_parent()],
+        parents=[_workload_parent(), _jobs_parent(), _cache_parent()],
     )
     cmp_p.add_argument(
         "--policies",
@@ -120,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser(
         "figure",
         help="reproduce a paper figure / extension",
-        parents=[_jobs_parent()],
+        parents=[_jobs_parent(), _cache_parent()],
     )
     fig_p.add_argument("name", choices=sorted(FIGURE_COMMANDS), help="figure id")
     fig_p.add_argument("--out", help="also write the report to this file")
@@ -131,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     val_p = sub.add_parser(
         "validate",
         help="run the full reproduction scorecard (paper claims)",
-        parents=[_jobs_parent()],
+        parents=[_jobs_parent(), _cache_parent()],
     )
     val_p.add_argument(
         "--quick", action="store_true", help="reduced scale (~3x faster)"
@@ -141,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="run the fault-injection degradation matrix "
         "(policy x fault layer x intensity)",
-        parents=[_workload_parent(), _jobs_parent()],
+        parents=[_workload_parent(), _jobs_parent(), _cache_parent()],
     )
     faults_p.add_argument(
         "--policies",
@@ -213,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rack",
         help="run a rack-scale sweep: a ToR load balancer steering flows "
         "across N simulated servers",
-        parents=[_jobs_parent(), _policy_parent("ddio")],
+        parents=[_jobs_parent(), _policy_parent("ddio"), _cache_parent()],
     )
     rack_p.add_argument(
         "--servers",
@@ -270,6 +276,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="write the rack summary JSON to this file"
     )
 
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect and maintain the result cache (stats / verify / gc)",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats",
+        help="entry count, bytes, versions, traffic",
+        parents=[_cache_parent()],
+    )
+    verify_p = cache_sub.add_parser(
+        "verify",
+        help="validate every entry and re-run a sampled subset; evict "
+        "corrupt or diverging entries",
+        parents=[_cache_parent()],
+    )
+    verify_p.add_argument(
+        "--sample",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="re-run at most N entries (default: all)",
+    )
+    verify_p.add_argument(
+        "--seed", type=int, default=0, help="sampling seed (default: %(default)s)"
+    )
+    verify_p.add_argument(
+        "--checked",
+        action="store_true",
+        help="re-run the sample with the invariant sanitizer attached",
+    )
+    verify_p.add_argument(
+        "--no-evict",
+        action="store_true",
+        help="report corrupt/mismatched entries without deleting them",
+    )
+    gc_p = cache_sub.add_parser(
+        "gc",
+        help="evict foreign-version, stale, and over-budget entries",
+        parents=[_cache_parent()],
+    )
+    gc_p.add_argument(
+        "--max-bytes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="evict oldest entries until the cache fits in N bytes",
+    )
+    gc_p.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="evict entries older than D days",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep daemon: answer repeated sweeps from the warm "
+        "result cache over a local socket",
+        parents=[_jobs_parent(), _cache_parent()],
+    )
+    serve_p.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="Unix-domain socket path to listen on",
+    )
+    serve_p.add_argument(
+        "--max-requests",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after N requests (default: run until a shutdown request)",
+    )
+
     trace_p = sub.add_parser(
         "trace",
         help="run the reference burst experiment with per-hop tracing and "
@@ -324,6 +406,30 @@ def _policy_parent(default: str) -> argparse.ArgumentParser:
     """Shared ``--policy`` vocabulary with a per-subcommand default."""
     p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--policy", default=default, help="placement policy name")
+    return p
+
+
+def _cache_parent() -> argparse.ArgumentParser:
+    """Shared result-cache vocabulary (``docs/caching.md``).
+
+    ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) turns caching on for the
+    invocation; ``--no-cache`` forces every experiment to recompute even
+    when the environment variable is set.  ``harness.*`` fault plans
+    force-miss regardless (the cache refuses to memoize them).
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR if set, "
+        "else caching is off)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache for this invocation",
+    )
     return p
 
 
@@ -773,6 +879,94 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Result-cache maintenance: ``stats`` / ``verify`` / ``gc``."""
+    from . import cache as cache_mod
+
+    root = args.cache_dir or cache_mod.default_cache_dir()
+    cache = cache_mod.ResultCache(root)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache root:  {stats['root']}")
+        print(f"entries:     {stats['entries']}")
+        print(f"bytes:       {stats['bytes']}")
+        for version, count in stats["versions"].items():
+            print(f"  version {version}: {count} entries")
+        return 0
+    if args.cache_command == "verify":
+        report = cache.verify(
+            sample=args.sample,
+            seed=args.seed,
+            checked=args.checked,
+            evict=not args.no_evict,
+        )
+        print(
+            f"verified {report.sampled}/{report.entries} entries: "
+            f"{report.verified_ok} ok, {len(report.corrupt)} corrupt, "
+            f"{len(report.mismatched)} mismatched, {report.evicted} evicted"
+        )
+        for digest in report.corrupt:
+            print(f"  corrupt:    {digest}")
+        for digest in report.mismatched:
+            print(f"  mismatched: {digest}")
+        return 0 if report.clean else 1
+    if args.cache_command == "gc":
+        report = cache.gc(
+            max_bytes=args.max_bytes, max_age_days=args.max_age_days
+        )
+        print(
+            f"gc: {report.entries_before} -> {report.entries_after} entries "
+            f"({report.bytes_before} -> {report.bytes_after} bytes); evicted "
+            f"{report.evicted_foreign} foreign, {report.evicted_stale} stale, "
+            f"{report.evicted_over_budget} over budget"
+        )
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep daemon (``repro.cache.serve``) until shutdown."""
+    from . import cache as cache_mod
+    from .cache.serve import run_serve
+
+    root = args.cache_dir or cache_mod.default_cache_dir()
+    cache = None if args.no_cache else cache_mod.ResultCache(root)
+    print(f"serving on {args.socket} (cache: {root if cache else 'off'})")
+    served = run_serve(
+        args.socket,
+        cache=cache,
+        cache_dir=root,
+        jobs=args.jobs,
+        max_requests=args.max_requests,
+    )
+    print(f"served {served} request(s)")
+    return 0
+
+
+def _install_cache(args: argparse.Namespace):
+    """Install the invocation's default result cache from CLI flags.
+
+    Returns ``(cache, restore)`` where ``restore()`` undoes the install;
+    caching stays off unless ``--cache-dir`` or ``$REPRO_CACHE_DIR``
+    names a directory, and ``--no-cache`` wins over both.
+    """
+    import os
+
+    from . import cache as cache_mod
+
+    if getattr(args, "no_cache", False):
+        previous = cache_mod.set_default_cache(None)
+        return None, lambda: cache_mod.set_default_cache(previous)
+    root = getattr(args, "cache_dir", None) or os.environ.get(
+        cache_mod.CACHE_DIR_ENV
+    )
+    if not root:
+        return None, lambda: None
+    cache = cache_mod.ResultCache(root)
+    previous = cache_mod.set_default_cache(cache)
+    return cache, lambda: cache_mod.set_default_cache(previous)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -785,10 +979,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "rack": cmd_rack,
         "trace": cmd_trace,
         "faults": cmd_faults,
+        "cache": cmd_cache,
+        "serve": cmd_serve,
     }
+    cache, restore = (None, lambda: None)
+    if args.command not in ("cache", "serve"):
+        cache, restore = _install_cache(args)
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
+        if cache is not None and (cache.hits or cache.misses):
+            print(
+                f"[cache: {cache.hits} hits, {cache.misses} misses, "
+                f"{cache.stores} stores @ {cache.root}]"
+            )
+        return code
     finally:
+        restore()
         # Every parallel sweep in the invocation shared one warm pool;
         # drain it on the way out (idempotent when nothing spawned).
         shutdown_pool()

@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..cache import resolve_cache
 from .experiment import Experiment, ExperimentSummary, run_experiment
 
 
@@ -259,7 +260,7 @@ def pool_session(jobs: Optional[int] = None) -> Iterator[Optional[WarmPool]]:
 
 
 def run_experiments(
-    experiments: Iterable[Experiment], jobs: int = 1
+    experiments: Iterable[Experiment], jobs: int = 1, cache=None
 ) -> List[ExperimentSummary]:
     """Run a batch of experiments, ``jobs`` at a time, preserving order.
 
@@ -268,8 +269,42 @@ def run_experiments(
     session pool (created on first use, reused across calls) with an
     adaptive chunk size.  The pool path and the serial path produce
     identical summaries for seeded experiments.
+
+    ``cache`` is consulted *before* dispatch: hits skip simulation
+    entirely and only the misses fan out to the pool, after which each
+    freshly computed summary is stored atomically.  ``cache=None``
+    (default) uses the process-default cache if one is installed
+    (:func:`repro.cache.set_default_cache`); ``cache=False`` disables
+    caching for this call.  Cached and computed summaries are returned
+    interleaved in input order, and a hit's fingerprint is byte-identical
+    to what a cold run of the same experiment would produce.
     """
     batch = list(experiments)
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return _run_uncached(batch, jobs)
+    hits: Dict[int, ExperimentSummary] = {}
+    misses: List[Tuple[int, Experiment]] = []
+    for index, exp in enumerate(batch):
+        summary = resolved.get(exp)
+        if summary is not None:
+            hits[index] = summary
+        else:
+            misses.append((index, exp))
+    if not misses:
+        _note_dispatch("cached", 0, 0, len(batch))
+        return [hits[i] for i in range(len(batch))]
+    computed = _run_uncached([exp for _, exp in misses], jobs)
+    for (index, exp), summary in zip(misses, computed):
+        resolved.put(exp, summary)
+        hits[index] = summary
+    return [hits[i] for i in range(len(batch))]
+
+
+def _run_uncached(
+    batch: List[Experiment], jobs: Optional[int]
+) -> List[ExperimentSummary]:
+    """The pre-cache dispatch logic: serial or warm-pool, order-preserving."""
     if jobs is None:
         jobs = default_jobs()
     pool = None
@@ -332,7 +367,8 @@ class SweepRecord:
     """The fate of one experiment inside a resilient sweep."""
 
     name: str
-    #: "ok", "retried" (succeeded after >= 1 crash), "timeout", "failed".
+    #: "ok", "retried" (succeeded after >= 1 crash), "cached" (served
+    #: from the result cache, no simulation), "timeout", "failed".
     status: str
     attempts: int
     error: Optional[str] = None
@@ -340,7 +376,7 @@ class SweepRecord:
 
     @property
     def succeeded(self) -> bool:
-        return self.status in ("ok", "retried")
+        return self.status in ("ok", "retried", "cached")
 
 
 @dataclass
@@ -472,6 +508,7 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     retry_backoff_s: float = 0.05,
+    cache=None,
 ) -> SweepResult:
     """Run a sweep that survives crashed, hung, and failing experiments.
 
@@ -485,11 +522,63 @@ def run_sweep(
     a host without process pools degrades to the serial path (where
     timeouts are detected after the fact rather than enforced).
 
+    ``cache`` follows :func:`run_experiments`: hits are reported with
+    status ``"cached"`` (``attempts=0``) and skip the worker entirely;
+    clean first-try results are stored.  Experiments whose fault plan
+    carries ``harness.*`` kinds are *uncacheable by design* — their
+    crashes and hangs act on this runner, so they force-miss on every
+    sweep and are never stored, keeping resilience paths live.
+
     A timeout poisons the pool — the wedged worker still occupies a
     slot — so the session pool is terminated and discarded; the next
     parallel call warms a fresh one.
     """
     batch = list(experiments)
+    if not batch:
+        return SweepResult()
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return _run_sweep_uncached(batch, jobs, timeout_s, retries, retry_backoff_s)
+    hits: Dict[int, ExperimentSummary] = {}
+    misses: List[Tuple[int, Experiment]] = []
+    for index, exp in enumerate(batch):
+        summary = resolved.get(exp)
+        if summary is not None:
+            summary.status = "cached"
+            summary.attempts = 0
+            hits[index] = summary
+        else:
+            misses.append((index, exp))
+    inner = _run_sweep_uncached(
+        [exp for _, exp in misses], jobs, timeout_s, retries, retry_backoff_s
+    )
+    result = SweepResult(
+        summaries=[hits.get(i) for i in range(len(batch))],
+        records=[
+            SweepRecord(name=batch[i].name, status="cached", attempts=0)
+            if i in hits
+            else None  # type: ignore[list-item] - filled below
+            for i in range(len(batch))
+        ],
+    )
+    for (index, exp), summary, record in zip(
+        misses, inner.summaries, inner.records
+    ):
+        if summary is not None and summary.status == "ok":
+            resolved.put(exp, summary)
+        result.summaries[index] = summary
+        result.records[index] = record
+    return result
+
+
+def _run_sweep_uncached(
+    batch: Sequence[Experiment],
+    jobs: Optional[int],
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+) -> SweepResult:
+    """The pre-cache sweep machinery: warm pool with crash/timeout handling."""
     if jobs is None:
         jobs = default_jobs()
     if not batch:
@@ -552,13 +641,14 @@ def run_sweep(
 
 
 def run_named_experiments(
-    named: Sequence[Tuple[str, Experiment]], jobs: int = 1
+    named: Sequence[Tuple[str, Experiment]], jobs: int = 1, cache=None
 ) -> Dict[str, ExperimentSummary]:
     """Run ``(key, experiment)`` pairs and return ``{key: summary}``.
 
     The figure harness builds its result dictionaries this way: declare
     the whole sweep up front, fan it out, then index summaries by key.
-    Insertion order of the dict follows the input order.
+    Insertion order of the dict follows the input order.  ``cache``
+    follows :func:`run_experiments`.
     """
-    summaries = run_experiments([exp for _, exp in named], jobs=jobs)
+    summaries = run_experiments([exp for _, exp in named], jobs=jobs, cache=cache)
     return {key: summary for (key, _), summary in zip(named, summaries)}

@@ -13,6 +13,9 @@ Chrome-trace process per server.
 
 from .bus import EventBus
 from .events import (
+    CacheHitEvent,
+    CacheMissEvent,
+    CacheStoreEvent,
     LlcWritebackEvent,
     MlcWritebackEvent,
     PmdBatchEvent,
@@ -22,6 +25,9 @@ from .events import (
 from .trace import RackTraceRecorder, TraceRecorder
 
 __all__ = [
+    "CacheHitEvent",
+    "CacheMissEvent",
+    "CacheStoreEvent",
     "EventBus",
     "LlcWritebackEvent",
     "MlcWritebackEvent",

@@ -24,11 +24,12 @@ import random
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from ..cache import resolve_cache
 from ..harness.experiment import Experiment, ExperimentSummary
 from ..harness.runner import run_experiments
 from ..net.flow import FlowSteering, _mix64, make_flows
 from ..obs.bus import EventBus
-from ..obs.events import ServerCompletedEvent, ServerLaneSeries
+from ..obs.events import CacheHitEvent, ServerCompletedEvent, ServerLaneSeries
 from ..sim import units
 from .config import RackConfig
 from .summary import RackSummary, fingerprint_digest
@@ -126,17 +127,52 @@ class SimulatedRack:
     # sweep
     # ------------------------------------------------------------------
 
-    def run(self, jobs: int = 1) -> RackSummary:
+    def run(self, jobs: int = 1, cache=None) -> RackSummary:
         """Run every server (sharded over the warm pool when ``jobs > 1``)
-        and fold the per-server summaries into a :class:`RackSummary`."""
-        summaries = run_experiments(self.experiments(), jobs=jobs)
-        return self.fold(summaries)
+        and fold the per-server summaries into a :class:`RackSummary`.
 
-    def fold(self, summaries: Sequence[ExperimentSummary]) -> RackSummary:
-        """Fold per-server summaries (server order) and publish lanes."""
+        With a result cache (explicit ``cache=`` or the installed
+        process default; ``cache=False`` disables), the sweep is
+        *incremental*: each per-server experiment is keyed independently,
+        so re-running an N-server rack after changing one server's share
+        recomputes only the shards whose configs moved — the rest are
+        served from the cache and their lanes are marked ``cached``.  The
+        rack fingerprint is unaffected: cached digests are byte-identical
+        to cold recomputes.
+        """
+        resolved = resolve_cache(cache)
+        experiments = self.experiments()
+        cached_names: set = set()
+        if resolved is None:
+            summaries = run_experiments(experiments, jobs=jobs, cache=False)
+        else:
+            handler = resolved.bus.subscribe(
+                CacheHitEvent, lambda event: cached_names.add(event.name)
+            )
+            try:
+                summaries = run_experiments(
+                    experiments, jobs=jobs, cache=resolved
+                )
+            finally:
+                resolved.bus.unsubscribe(CacheHitEvent, handler)
+        return self.fold(summaries, cached_names=cached_names)
+
+    def fold(
+        self,
+        summaries: Sequence[ExperimentSummary],
+        cached_names: Optional[set] = None,
+    ) -> RackSummary:
+        """Fold per-server summaries (server order) and publish lanes.
+
+        ``cached_names`` marks the lanes whose experiment (by its unique
+        ``{rack}-sNN`` name) was served from the result cache.
+        """
         rack_summary = RackSummary.from_summaries(
             self.config, self.flow_counts, summaries, self.steering.digest()
         )
+        if cached_names:
+            for lane in rack_summary.lanes:
+                lane.cached = lane.name in cached_names
         self._publish_lanes(summaries, rack_summary)
         return rack_summary
 
@@ -168,17 +204,21 @@ class SimulatedRack:
                     completed=lane.completed,
                     drops=lane.drops,
                     fingerprint=lane.digest,
+                    cached=lane.cached,
                 )
             )
 
 
 def run_rack(
-    config: RackConfig, jobs: int = 1, rack: Optional[SimulatedRack] = None
+    config: RackConfig,
+    jobs: int = 1,
+    rack: Optional[SimulatedRack] = None,
+    cache=None,
 ) -> RackSummary:
     """Build (or reuse) a rack and run one sweep; the one-call entry point."""
     if rack is None:
         rack = SimulatedRack(config)
-    return rack.run(jobs=jobs)
+    return rack.run(jobs=jobs, cache=cache)
 
 
 __all__ = [

@@ -50,6 +50,10 @@ class ServerLane:
     wall_seconds: float
     #: ``fingerprint_digest`` of the server's :class:`ExperimentSummary`.
     digest: str
+    #: Whether this lane was served from the result cache (no simulation
+    #: ran; the digest is still byte-identical to a cold recompute).
+    #: Excluded from the rack fingerprint by construction.
+    cached: bool = False
 
     @property
     def p50_us(self) -> Optional[float]:
@@ -245,6 +249,7 @@ class RackSummary:
                         f"p{p}": v for p, v in lane.percentiles_us.items()
                     },
                     "digest": lane.digest,
+                    "cached": lane.cached,
                 }
                 for lane in self.lanes
             ],

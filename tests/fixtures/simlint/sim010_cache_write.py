@@ -1,0 +1,27 @@
+# simlint-fixture-module: repro.cache.fake
+"""SIM010 fixture: cache writes bypassing the atomic helper (5 violations)."""
+import os
+import pickle
+from pathlib import Path
+
+
+def store_directly(path, entry):
+    with open(path, "wb") as fh:  # torn write: readers can see a partial pickle
+        pickle.dump(entry, fh)
+
+
+def store_via_path(path: Path, payload: bytes) -> None:
+    path.write_bytes(payload)
+
+
+def store_text_sidecar(path: Path, text: str) -> None:
+    path.write_text(text)
+
+
+def append_journal(path: Path, line: str) -> None:
+    with path.open("a") as fh:
+        fh.write(line)
+
+
+def hand_rolled_rename(staged: str, final: str) -> None:
+    os.replace(staged, final)

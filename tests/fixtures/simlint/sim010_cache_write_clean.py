@@ -1,0 +1,29 @@
+# simlint-fixture-module: repro.cache.fake_clean
+"""SIM010 clean control: the blessed atomic path, plus legal reads/evicts."""
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    fd, staged = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(payload)
+    os.replace(staged, path)
+
+
+def store(path: Path, entry: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write_bytes(path, pickle.dumps(entry))
+
+
+def load(path: Path) -> dict:
+    with open(path, "rb") as fh:  # read mode is always legal
+        return pickle.load(fh)
+
+
+def evict(path: Path) -> None:
+    os.unlink(path)

@@ -1,0 +1,165 @@
+"""Tests for the ``repro serve`` daemon and its JSON-lines protocol.
+
+The daemon runs in a background thread against a tmp-path socket and
+cache; a client submits the same sweep twice and the second pass must be
+answered entirely from the warm cache with byte-identical fingerprints —
+the in-process version of the ``make serve-smoke`` CI gate.
+"""
+
+import threading
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.cache.serve import (
+    ServeDaemon,
+    experiment_from_spec,
+    submit,
+)
+from repro.harness.runner import shutdown_pool
+
+SWEEP = {
+    "op": "sweep",
+    "experiments": [
+        {"name": "t-ddio", "policy": "ddio", "ring": 128, "rate": 25.0},
+        {"name": "t-idio", "policy": "idio", "ring": 128, "rate": 25.0},
+    ],
+}
+
+
+class TestExperimentFromSpec:
+    def test_defaults(self):
+        exp = experiment_from_spec({})
+        assert exp.server.policy.name == "ddio"
+        assert exp.server.app == "touchdrop"
+        assert exp.name == "serve-ddio"
+
+    def test_cli_vocabulary_maps_through(self):
+        exp = experiment_from_spec(
+            {"name": "x", "policy": "idio", "workload": "l2fwd",
+             "ring": 256, "rate": 40.0, "seed": 3, "antagonist": True}
+        )
+        assert exp.name == "x"
+        assert exp.server.policy.name == "idio"
+        assert exp.server.app == "l2fwd"
+        assert exp.server.ring_size == 256
+        assert exp.server.antagonist is True
+        assert exp.burst_rate_gbps == 40.0
+        assert exp.traffic_seed == 3
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment spec keys"):
+            experiment_from_spec({"policy": "idio", "rign": 256})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            experiment_from_spec({"workload": "memcached"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            experiment_from_spec(["policy"])
+
+    def test_same_spec_same_digest(self):
+        cache = ResultCache.__new__(ResultCache)  # digest only, no disk
+        cache.version = "test"
+        a = experiment_from_spec(dict(SWEEP["experiments"][0]))
+        b = experiment_from_spec(dict(SWEEP["experiments"][0]))
+        assert cache.digest_for(a) == cache.digest_for(b)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A bound daemon serving on a background thread until shutdown."""
+    cache = ResultCache(tmp_path / "cache")
+    d = ServeDaemon(tmp_path / "serve.sock", cache)
+    d.bind()
+    thread = threading.Thread(target=d.serve_forever, daemon=True)
+    thread.start()
+    yield d
+    if thread.is_alive():
+        try:
+            submit(d.socket_path, {"op": "shutdown"}, timeout=10.0)
+        except OSError:
+            pass
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    shutdown_pool()
+
+
+def _results(lines):
+    return {l["name"]: l for l in lines if l.get("event") == "result"}
+
+
+class TestServeDaemon:
+    def test_ping(self, daemon):
+        lines = submit(daemon.socket_path, {"op": "ping"})
+        assert lines == [{"event": "pong", "version": daemon.cache.version}]
+
+    def test_unknown_op_reports_error(self, daemon):
+        lines = submit(daemon.socket_path, {"op": "frobnicate"})
+        assert lines[-1]["event"] == "error"
+        assert "frobnicate" in lines[-1]["message"]
+
+    def test_bad_spec_reports_error_and_daemon_survives(self, daemon):
+        lines = submit(
+            daemon.socket_path,
+            {"op": "sweep", "experiments": [{"rign": 1}]},
+        )
+        assert lines[-1]["event"] == "error"
+        assert submit(daemon.socket_path, {"op": "ping"})[0]["event"] == "pong"
+
+    def test_second_sweep_served_from_warm_cache(self, daemon):
+        n = len(SWEEP["experiments"])
+
+        cold = submit(daemon.socket_path, SWEEP)
+        done = cold[-1]
+        assert done["event"] == "done"
+        assert done["misses"] == n and done["hits"] == 0
+        # Live cache progress was streamed before the results.
+        cache_kinds = [
+            l["kind"] for l in cold if l.get("event") == "cache"
+        ]
+        assert cache_kinds.count("miss") == n
+        assert cache_kinds.count("store") == n
+
+        warm = submit(daemon.socket_path, SWEEP)
+        done = warm[-1]
+        assert done["hits"] == n and done["misses"] == 0
+        assert [
+            l["kind"] for l in warm if l.get("event") == "cache"
+        ] == ["hit"] * n
+
+        cold_fp = {k: v["fingerprint"] for k, v in _results(cold).items()}
+        warm_fp = {k: v["fingerprint"] for k, v in _results(warm).items()}
+        assert cold_fp == warm_fp and len(cold_fp) == n
+
+    def test_stats_op(self, daemon):
+        submit(daemon.socket_path, SWEEP)
+        lines = submit(daemon.socket_path, {"op": "stats"})
+        stats = lines[-1]["stats"]
+        assert stats["entries"] == len(SWEEP["experiments"])
+        assert stats["stores"] == len(SWEEP["experiments"])
+
+    def test_shutdown_op(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        d = ServeDaemon(tmp_path / "s.sock", cache, max_requests=10)
+        d.bind()
+        thread = threading.Thread(target=d.serve_forever, daemon=True)
+        thread.start()
+        lines = submit(d.socket_path, {"op": "shutdown"})
+        assert lines[-1]["event"] == "bye"
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert not d.socket_path.exists()  # socket cleaned up
+
+    def test_max_requests_backstop(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        d = ServeDaemon(tmp_path / "s.sock", cache, max_requests=2)
+        d.bind()
+        thread = threading.Thread(target=d.serve_forever, daemon=True)
+        thread.start()
+        submit(d.socket_path, {"op": "ping"})
+        submit(d.socket_path, {"op": "ping"})
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert d.requests_served == 2

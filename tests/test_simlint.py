@@ -33,6 +33,7 @@ FIXTURE_CASES = [
     ("sim007_units.py", "SIM007", 3),
     ("sim008_numpy.py", "SIM008", 3),
     ("sim009_rack_rng.py", "SIM009", 5),
+    ("sim010_cache_write.py", "SIM010", 5),
 ]
 
 
@@ -61,6 +62,23 @@ def test_sim009_clean_fixture_is_clean():
     """The clean half of the SIM009 pair: per-server streams pass."""
     path = FIXTURES / "sim009_rack_rng_clean.py"
     assert lint_file(str(path), module=_fixture_module(path)) == []
+
+
+def test_sim010_clean_fixture_is_clean():
+    """The clean half of the SIM010 pair: the atomic helper shape passes."""
+    path = FIXTURES / "sim010_cache_write_clean.py"
+    assert lint_file(str(path), module=_fixture_module(path)) == []
+
+
+def test_sim010_scope_gating():
+    src = "def spill(path, blob):\n    path.write_bytes(blob)\n"
+    # Direct writes are fine outside the cache package ...
+    assert lint_source(src, "repro.harness.runner") == []
+    # ... but bypass the atomic store helper inside it.
+    assert [v.rule for v in lint_source(src, "repro.cache.store")] == ["SIM010"]
+    # Read-mode opens never trip the rule.
+    reads = 'def load(path):\n    return open(path, "rb").read()\n'
+    assert lint_source(reads, "repro.cache.store") == []
 
 
 def test_sim009_scope_gating():

@@ -9,13 +9,21 @@ multi-core matrix:
 * ``burst_faulted`` — the same burst under the standard fault plan
   (overhead of live injection on the hot path);
 * ``fig10_quick_jobs<J>`` — the fig10 quick sweep through the warm
-  process-pool runner for every ``J`` in ``sorted({1, 2, N})`` where
-  ``N`` is this host's scheduler-visible core count.  Each row records
+  process-pool runner for every ``J`` in ``sorted({1, 2, N})`` with
+  ``J <= N``, where ``N`` is this host's scheduler-visible core count
+  (oversubscribed rows — e.g. jobs=2 on a 1-core host — are strictly
+  slower and only add noise, so they are skipped).  Each row records
   the worker count, the host core count, and the chunk size the runner
   chose, so sweep-scaling regressions are attributable from the JSON
   alone.  The pool is pre-warmed outside the timed region (steady-state
   sweep cost, not fork cost) and torn down between rows so no row
   inherits the previous row's workers;
+* ``fig10_quick_cached`` — the same sweep cold then warm through the
+  fingerprint-keyed result cache (``repro.cache``): the row's wall time
+  is the *warm* re-run (every experiment a cache hit), with the cold
+  time, speedup, hit/miss counts, and cache size recorded alongside.
+  Warm wall times are milliseconds, so the row is ``advisory`` —
+  reported but excluded from the ``--check`` gate;
 * ``rack_quick`` — a 4-server rack sweep (``repro.rack``) sharded over
   the warm pool, measuring the ToR steering + fold overhead on top of
   the per-server experiments.
@@ -123,6 +131,48 @@ def _bench_fig10_quick(jobs: int) -> dict:
     return row
 
 
+def _bench_fig10_quick_cached() -> dict:
+    # Cold-then-warm through the result cache: the cold run populates a
+    # throwaway cache directory, the warm re-run must serve every
+    # experiment from it.  The row's headline wall time is the *warm*
+    # run; warm times are tiny and dominated by pickle I/O, so the row
+    # is advisory (excluded from the --check gate) and the interesting
+    # numbers are the speedup and the hit/miss counts.
+    import tempfile
+
+    from repro.cache import cache_session
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        with cache_session(root) as cache:
+            start = time.perf_counter()
+            figures.fig10(
+                ring_size=256, include_static=False, corun_rates=(25.0,), jobs=1
+            )
+            cold_wall = time.perf_counter() - start
+            cold_misses, cold_stores = cache.misses, cache.stores
+            start = time.perf_counter()
+            report = figures.fig10(
+                ring_size=256, include_static=False, corun_rates=(25.0,), jobs=1
+            )
+            warm_wall = time.perf_counter() - start
+            stats = cache.stats()
+    events = sum(s.events_fired for s in report.results.values())
+    return {
+        "wall_seconds": warm_wall,
+        "advisory": True,
+        "cold_wall_seconds": cold_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+        "events": events,
+        "experiments": len(report.results),
+        "cold_misses": cold_misses,
+        "cold_stores": cold_stores,
+        "warm_hits": cache.hits,
+        "warm_misses": cache.misses - cold_misses,
+        "cache_entries": stats["entries"],
+        "cache_bytes": stats["bytes"],
+    }
+
+
 def _bench_rack_quick() -> dict:
     # A 4-server rack sweep sharded over the warm pool: measures the
     # rack tier's fold + steering overhead on top of the per-server
@@ -161,8 +211,14 @@ def _bench_rack_quick() -> dict:
 
 
 def jobs_matrix() -> list[int]:
-    """Worker counts measured per sweep workload: 1, 2, and all cores."""
-    return sorted({1, 2, runner.default_jobs()})
+    """Worker counts measured per sweep workload: 1, 2, and all cores.
+
+    Capped at the host's core count — an oversubscribed row (jobs=2 on a
+    1-core host) is strictly slower than serial and only adds noise to
+    the baseline, so it is not measured at all.
+    """
+    cpus = runner.default_jobs()
+    return [j for j in sorted({1, 2, cpus}) if j <= cpus]
 
 
 def workload_matrix(quick: bool = False) -> dict:
@@ -184,6 +240,7 @@ def workload_matrix(quick: bool = False) -> dict:
             return _bench_fig10_quick(jobs)
 
         workloads[f"fig10_quick_jobs{j}"] = _thunk
+    workloads["fig10_quick_cached"] = _bench_fig10_quick_cached
     workloads["rack_quick"] = _bench_rack_quick
     return workloads
 
@@ -232,7 +289,9 @@ def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
     workload must not pass the gate).  Multi-job rows are only comparable
     when both hosts have the same core count — the jobs matrix is
     host-derived, so a jobs=4 baseline row from a 4-core host is
-    informational on any other host, as is its absence.
+    informational on any other host, as is its absence.  Rows marked
+    ``advisory`` (in either run) are always informational: their wall
+    times are too small or too host-dependent to gate on.
     """
     failures: list[str] = []
     baseline_results = baseline.get("results", {})
@@ -243,11 +302,14 @@ def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
             continue
         base_wall, cur_wall = base["wall_seconds"], cur["wall_seconds"]
         delta_pct = (cur_wall - base_wall) / base_wall * 100.0
+        advisory = bool(cur.get("advisory") or base.get("advisory"))
         comparable = not _is_multijob(cur, name) or (
             _row_cpus(base, baseline) == _row_cpus(cur, current)
         )
         status = "ok"
-        if not comparable:
+        if advisory:
+            status = "advisory (not gated)"
+        elif not comparable:
             status = "informational (baseline measured on a different core count)"
         elif delta_pct > threshold_pct:
             status = f"REGRESSION (> {threshold_pct:g}%)"
@@ -260,6 +322,9 @@ def compare(current: dict, baseline: dict, threshold_pct: float) -> list[str]:
         )
     for name, base in baseline_results.items():
         if name in current["results"]:
+            continue
+        if base.get("advisory"):
+            print(f"  {name}: baseline-only advisory row (not gated)")
             continue
         if _is_multijob(base, name):
             # Host-derived row (e.g. jobs=4 on a 4-core baseline host):

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""serve-smoke: boot the ``repro serve`` daemon and prove warm-cache serving.
+
+The CI gate behind ``make serve-smoke``:
+
+1. start the daemon (``python -m repro.cache.serve``) on a fresh Unix
+   socket with an empty cache directory;
+2. submit a small sweep — every experiment must *miss* and be stored;
+3. submit the identical sweep again — every experiment must be served
+   from the warm cache (hit count == sweep size, zero misses) with
+   fingerprints byte-identical to the first pass;
+4. shut the daemon down and check it exits cleanly.
+
+Exits nonzero (with a diagnostic) on any deviation.  Stdlib-only, like
+the daemon itself.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cache.serve import submit  # noqa: E402
+
+#: A sweep that is tiny (sub-second cold) but exercises both policies.
+SWEEP = {
+    "op": "sweep",
+    "experiments": [
+        {"name": "smoke-ddio", "policy": "ddio", "ring": 128,
+         "rate": 25.0, "duration_us": 150.0},
+        {"name": "smoke-idio", "policy": "idio", "ring": 128,
+         "rate": 25.0, "duration_us": 150.0},
+    ],
+}
+
+
+def _wait_for_socket(socket_path: Path, proc, deadline_s: float = 30.0) -> None:
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon exited early with code {proc.returncode}")
+        if socket_path.exists():
+            try:
+                submit(socket_path, {"op": "ping"}, timeout=5.0)
+                return
+            except OSError:
+                pass
+        time.sleep(0.05)
+    raise SystemExit(f"daemon socket {socket_path} never came up")
+
+
+def _terminal(lines, label):
+    if not lines:
+        raise SystemExit(f"{label}: daemon sent no response")
+    last = lines[-1]
+    if last.get("event") == "error":
+        raise SystemExit(f"{label}: daemon error: {last.get('message')}")
+    return last
+
+
+def _fingerprints(lines):
+    return {
+        line["name"]: line["fingerprint"]
+        for line in lines
+        if line.get("event") == "result"
+    }
+
+
+def main() -> int:
+    n = len(SWEEP["experiments"])
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        cache_dir = Path(tmp) / "cache"
+        # ping + 2 sweeps + shutdown = 4 requests; --max-requests is the
+        # backstop in case the shutdown line is lost.
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", str(socket_path),
+             "--cache-dir", str(cache_dir),
+             "--max-requests", "4"],
+            cwd=str(REPO),
+            env=env,
+        )
+        try:
+            _wait_for_socket(socket_path, proc)
+
+            cold = submit(socket_path, SWEEP)
+            done = _terminal(cold, "cold sweep")
+            if done.get("misses") != n or done.get("hits") != 0:
+                raise SystemExit(
+                    f"cold sweep should miss {n}/{n}, got {done}"
+                )
+
+            warm = submit(socket_path, SWEEP)
+            done = _terminal(warm, "warm sweep")
+            if done.get("hits") != n or done.get("misses") != 0:
+                raise SystemExit(
+                    f"warm sweep should be served from cache ({n} hits), "
+                    f"got {done}"
+                )
+            if _fingerprints(warm) != _fingerprints(cold):
+                raise SystemExit(
+                    "warm fingerprints diverged from the cold run:\n"
+                    f"  cold: {_fingerprints(cold)}\n"
+                    f"  warm: {_fingerprints(warm)}"
+                )
+
+            bye = _terminal(submit(socket_path, {"op": "shutdown"}), "shutdown")
+            if bye.get("event") != "bye":
+                raise SystemExit(f"shutdown should answer bye, got {bye}")
+            # "bye" is sent before the daemon tears down; give it a grace
+            # period to exit on its own rather than racing a terminate().
+            code = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=30)
+        if code != 0:
+            raise SystemExit(f"daemon exited with code {code}")
+    print(f"serve-smoke OK: {n}/{n} experiments served from warm cache")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ RULES: Dict[str, str] = {
     "SIM007": "tick-vs-wall-time unit suffix mismatch (sim.units conventions)",
     "SIM008": "unguarded top-level numpy import; route through repro.mem._vec",
     "SIM009": "shared or module-level RNG in rack/fleet code; use seeded per-server streams",
+    "SIM010": "cache write outside the atomic store helper (repro.cache)",
 }
 
 #: Packages whose modules count as simulation code (SIM001/002/003/007).
@@ -37,6 +38,17 @@ SIM_SCOPE = ("repro.sim", "repro.mem", "repro.core", "repro.nic", "repro.cpu", "
 #: from a seeded per-server stream (``repro.rack.server_rng``) — shared
 #: module-level RNG state silently decorrelates serial and sharded runs.
 RACK_SCOPE = ("repro.rack",)
+
+#: Packages whose modules count as result-cache code (SIM010).  The
+#: cache's correctness rests on readers never seeing a torn entry, so
+#: every on-disk write must go through the one atomic helper (temp file
+#: + same-directory ``os.replace``); any other write shape — ``open`` in
+#: a write mode, ``Path.write_bytes``/``write_text``, a bare
+#: ``os.replace`` — is a torn-write hazard.
+CACHE_SCOPE = ("repro.cache",)
+
+#: The one function allowed to write cache files (SIM010).
+ATOMIC_WRITE_HELPER = "_atomic_write_bytes"
 
 #: ``repro.sim.kernel`` owns the wall-seconds diagnostics (events/sec);
 #: it is the one simulation module allowed to read the host clock.
@@ -123,6 +135,10 @@ def _in_rack_scope(module: str) -> bool:
     return any(module == p or module.startswith(p + ".") for p in RACK_SCOPE)
 
 
+def _in_cache_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in CACHE_SCOPE)
+
+
 def _suppressions(source: str) -> Dict[int, Set[str]]:
     out: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -169,6 +185,7 @@ class _Checker(ast.NodeVisitor):
         self.violations: List[Violation] = []
         self.sim_scope = _in_sim_scope(module)
         self.rack_scope = _in_rack_scope(module)
+        self.cache_scope = _in_cache_scope(module)
         self.slots_scope = module in SLOTS_MODULES
         self.wallclock_exempt = module in WALLCLOCK_EXEMPT
         self.numpy_gate = module in NUMPY_GATE_MODULES
@@ -186,6 +203,9 @@ class _Checker(ast.NodeVisitor):
         self.random_class_names: Set[str] = set()  # from random import Random
         self.datetime_aliases: Set[str] = set()
         self.units_func_names: Dict[str, str] = {}  # from ..sim.units import cycles
+        #: Names of the functions currently being visited (innermost last);
+        #: SIM010 exempts code lexically inside the atomic write helper.
+        self._function_name_stack: List[str] = []
         # per-function set-typed local names (simple forward dataflow).
         self._set_name_stack: List[Set[str]] = [set()]
         self._class_stack: List[str] = []
@@ -343,9 +363,11 @@ class _Checker(ast.NodeVisitor):
         is_method = bool(self._class_stack)
         self.functions.setdefault(node.name, (node, is_method))
         self._set_name_stack.append(set())
+        self._function_name_stack.append(node.name)
         self._function_depth += 1
         self.generic_visit(node)
         self._function_depth -= 1
+        self._function_name_stack.pop()
         self._set_name_stack.pop()
 
     visit_FunctionDef = _visit_function
@@ -481,6 +503,8 @@ class _Checker(ast.NodeVisitor):
             self._check_randomness(node, func, name)
         if self.rack_scope:
             self._check_rack_randomness(node, func, name)
+        if self.cache_scope:
+            self._check_cache_write(node, func, name)
         if self.module.startswith("repro.") and not self.module.startswith("repro.mem"):
             self._check_legacy_wrapper(node, func, name)
         if name == "subscribe" and isinstance(func, ast.Attribute) and len(node.args) == 2:
@@ -626,6 +650,76 @@ class _Checker(ast.NodeVisitor):
                         f"module-level Random(...) is one shared stream "
                         f"for every server; {advice}",
                     )
+
+    def _check_cache_write(
+        self, node: ast.Call, func: ast.AST, name: Optional[str]
+    ) -> None:
+        """SIM010: cache entries must be written via the atomic helper.
+
+        Readers of the result cache validate entries at load time and
+        treat any torn or partial file as corruption; the only write
+        shape that can never be observed torn is a same-directory temp
+        file renamed into place, which is exactly what
+        ``repro.cache.store._atomic_write_bytes`` does.  Inside the
+        cache package, every other write shape is flagged: ``open`` (or
+        ``os.fdopen`` / ``Path.open``) in a write mode,
+        ``Path.write_bytes`` / ``Path.write_text``, and bare
+        ``os.replace`` / ``os.rename`` (a hand-rolled rename protocol).
+        Read-mode opens and ``os.unlink`` (eviction) stay legal.
+        """
+        if ATOMIC_WRITE_HELPER in self._function_name_stack:
+            return
+        advice = (
+            f"route cache writes through {ATOMIC_WRITE_HELPER} "
+            "(temp file + same-directory os.replace)"
+        )
+
+        def mode_node(pos: int) -> Optional[ast.AST]:
+            if len(node.args) > pos:
+                return node.args[pos]
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    return kw.value
+            return None
+
+        def write_mode(arg: Optional[ast.AST]) -> bool:
+            return (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)
+                and any(ch in arg.value for ch in "wax+")
+            )
+
+        if isinstance(func, ast.Name):
+            if func.id == "open" and write_mode(mode_node(1)):
+                self._emit(
+                    node, "SIM010", f"open() in a write mode; {advice}"
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if name in ("write_bytes", "write_text"):
+            self._emit(
+                node,
+                "SIM010",
+                f".{name}() writes a cache file non-atomically; {advice}",
+            )
+        elif name == "open" and write_mode(mode_node(0)):
+            self._emit(node, "SIM010", f".open() in a write mode; {advice}")
+        elif name == "fdopen" and write_mode(mode_node(1)):
+            self._emit(
+                node, "SIM010", f"os.fdopen() in a write mode; {advice}"
+            )
+        elif (
+            name in ("replace", "rename")
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            self._emit(
+                node,
+                "SIM010",
+                f"os.{name}() outside the helper is a hand-rolled "
+                f"rename protocol; {advice}",
+            )
 
     def _check_legacy_wrapper(self, node: ast.Call, func: ast.AST, name: Optional[str]) -> None:
         if not isinstance(func, ast.Attribute):
