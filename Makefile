@@ -10,10 +10,12 @@ test:
 lint:
 	ruff check src tests tools benchmarks
 
-# Full static-analysis battery: simlint (always) + ruff/mypy (when
-# installed -- missing tools are skipped with a notice, see tools/analyze.py).
+# Full static-analysis battery: simlint SIM001-SIM015 (always; parses in
+# parallel through the .simlint-cache AST store) + ruff/mypy (when
+# installed -- missing tools are skipped with a notice, see tools/analyze.py;
+# CI makes them mandatory with --require ruff,mypy).
 analyze:
-	$(PYTHON) tools/analyze.py
+	$(PYTHON) tools/analyze.py --jobs 4
 
 # Runtime correctness gate: checked-mode runs (invariant sanitizer) plus
 # the dual-run determinism digest (see `repro check --help`).

@@ -626,6 +626,39 @@ def cmd_check(args: argparse.Namespace) -> int:
     ring = 256 if args.quick else 1024
     failures = 0
 
+    # Stage 0: static analysis.  In a source checkout the simlint
+    # whole-program engine (tools/simlint, SIM001-SIM015) lints the repro
+    # package itself; installed contexts without the tools/ tree skip
+    # with a notice rather than failing (the CI gate runs the full
+    # battery through tools/analyze.py regardless).
+    try:
+        from tools.simlint import lint_project
+        from tools.simlint.output import (
+            DEFAULT_BASELINE,
+            apply_baseline,
+            load_baseline,
+        )
+    except ImportError:
+        print("skip static: tools.simlint not importable (installed package)")
+    else:
+        from pathlib import Path
+
+        package_dir = Path(__file__).resolve().parent
+        try:
+            lint_target = package_dir.relative_to(Path.cwd())
+        except ValueError:
+            lint_target = package_dir
+        violations = lint_project([str(lint_target)])
+        entries = load_baseline(DEFAULT_BASELINE) if DEFAULT_BASELINE.is_file() else []
+        reported, suppressed, _stale = apply_baseline(violations, entries)
+        if reported:
+            for v in reported:
+                print(f"FAIL static: {v.render()}")
+            failures += 1
+        else:
+            note = f" ({len(suppressed)} baselined)" if suppressed else ""
+            print(f"ok   static: simlint clean{note}")
+
     def make_experiment(policy_name: str, checked: bool) -> Experiment:
         server = ServerConfig(
             policy=policies.policy_by_name(policy_name),

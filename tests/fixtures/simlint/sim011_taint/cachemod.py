@@ -1,0 +1,11 @@
+# simlint-fixture-module: repro.harness.fix_cache
+"""SIM011 fixture: unseeded randomness stored into the result cache."""
+
+import uuid
+
+from repro.cache import ResultCache
+
+
+def stash(cache: ResultCache, key):
+    token = uuid.uuid4()
+    cache.put(key, token)

@@ -1,0 +1,19 @@
+# simlint-fixture-module: repro.harness.fix_clock
+"""SIM011 fixture helper: taint sources hidden behind a module boundary.
+
+Nothing here is a violation on its own — harness code may read the host
+clock.  The hazard is the *flow*: ``stamp()`` returns wall-clock taint
+and ``passthrough()`` forwards whatever it is given, so a caller in
+another module can launder nondeterminism into fingerprint state without
+ever naming ``time`` itself.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def passthrough(value):
+    return value

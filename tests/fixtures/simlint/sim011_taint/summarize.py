@@ -1,0 +1,25 @@
+# simlint-fixture-module: repro.harness.fix_summarize
+"""SIM011 fixture: cross-module taint reaching fingerprint state."""
+
+import os
+
+from repro.harness.fix_clock import passthrough, stamp
+
+
+def build_summary():
+    started = stamp()  # wall-clock, imported from another module
+    jitter = passthrough(started)  # laundered through a passthrough helper
+    # wall_seconds is an allowlisted diagnostic; total_ticks is not.
+    return ExperimentSummary(total_ticks=jitter, wall_seconds=started)
+
+
+def digest_entropy():
+    salt = os.urandom(8).hex()
+    return fingerprint_digest(salt)
+
+
+def fingerprint(values):
+    total = 0.0
+    for item in set(values):  # hash-randomized iteration order
+        total = total + item
+    return total

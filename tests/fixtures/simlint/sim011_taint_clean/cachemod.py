@@ -1,0 +1,8 @@
+# simlint-fixture-module: repro.harness.fix_cache
+"""Clean half of the SIM011 pair: only config-derived values are stored."""
+
+from repro.cache import ResultCache
+
+
+def stash(cache: ResultCache, key, summary):
+    cache.put(key, summary)

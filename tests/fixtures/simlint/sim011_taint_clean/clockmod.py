@@ -1,0 +1,12 @@
+# simlint-fixture-module: repro.harness.fix_clock
+"""Clean half of the SIM011 pair: same helpers, no hazardous flow."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def passthrough(value):
+    return value

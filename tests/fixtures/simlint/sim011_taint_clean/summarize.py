@@ -1,0 +1,24 @@
+# simlint-fixture-module: repro.harness.fix_summarize
+"""Clean half of the SIM011 pair: taint stays in allowlisted fields.
+
+Wall-clock values land only in the diagnostic fields the fingerprint
+deliberately excludes, and unordered iteration is laundered through
+``sorted()`` before anything fingerprint-relevant sees it.
+"""
+
+from repro.harness.fix_clock import passthrough, stamp
+
+
+def build_summary(total_ticks):
+    started = stamp()
+    elapsed = passthrough(started)
+    return ExperimentSummary(
+        total_ticks=total_ticks, wall_seconds=elapsed, status="ok"
+    )
+
+
+def fingerprint(values):
+    total = 0.0
+    for item in sorted(set(values)):  # sorted() launders iteration order
+        total = total + item
+    return total

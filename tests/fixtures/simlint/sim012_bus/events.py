@@ -1,0 +1,23 @@
+# simlint-fixture-module: repro.obs.fix_events
+"""SIM012 fixture event types (shared by the wiring fixtures)."""
+
+
+class OrphanEvent:
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value
+
+
+class LonelyEvent:
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value
+
+
+class PairedEvent:
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value

@@ -1,0 +1,6 @@
+# simlint-fixture-module: repro.obs.fix_handlers
+"""SIM012 fixture: a handler with the wrong arity, imported elsewhere."""
+
+
+def log_event(event, sink):
+    sink.append(event)

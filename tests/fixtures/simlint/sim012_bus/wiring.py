@@ -1,0 +1,17 @@
+# simlint-fixture-module: repro.obs.fix_wiring
+"""SIM012 fixture: mispaired bus wiring across module boundaries.
+
+Three hazards: an event published with no subscriber anywhere, a
+subscription to an event nothing publishes, and a cross-module handler
+whose arity a per-file rule (SIM006) cannot see.
+"""
+
+from repro.obs.fix_events import LonelyEvent, OrphanEvent, PairedEvent
+from repro.obs.fix_handlers import log_event
+
+
+def attach(bus, recorder):
+    bus.publish(OrphanEvent(1))  # no typed subscriber anywhere
+    bus.subscribe(LonelyEvent, recorder.on_event)  # nothing publishes it
+    bus.publish(PairedEvent(2))
+    bus.subscribe(PairedEvent, log_event)  # handler takes two required args

@@ -1,0 +1,9 @@
+# simlint-fixture-module: repro.obs.fix_events
+"""Clean half of the SIM012 pair: event types with paired wiring."""
+
+
+class PairedEvent:
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value

@@ -1,0 +1,8 @@
+# simlint-fixture-module: repro.obs.fix_handlers
+"""Clean half of the SIM012 pair: a correctly-shaped imported handler."""
+
+from repro.obs.fix_events import PairedEvent
+
+
+def on_paired(event: PairedEvent):
+    return event.value

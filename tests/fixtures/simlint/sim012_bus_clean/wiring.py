@@ -1,0 +1,16 @@
+# simlint-fixture-module: repro.obs.fix_wiring
+"""Clean half of the SIM012 pair: every publisher has a typed subscriber.
+
+Covers both publish shapes: the plain ``publish(event)`` call and the
+hot-path ``live(T)`` subscriber-list cache.
+"""
+
+from repro.obs.fix_events import PairedEvent
+from repro.obs.fix_handlers import on_paired
+
+
+def attach(bus):
+    bus.subscribe(PairedEvent, on_paired)
+    bus.publish(PairedEvent(1))
+    fan = bus.live(PairedEvent)
+    return fan

@@ -1,0 +1,19 @@
+# simlint-fixture-module: repro.harness.fix_config
+"""SIM013 fixture: config fields the canonical digest walk cannot see."""
+
+from dataclasses import dataclass
+from typing import Set
+
+
+class PolicyKnobs:
+    """Not a dataclass: canonical() raises TypeError on instances."""
+
+    def __init__(self, window=4):
+        self.window = window
+
+
+@dataclass
+class ServerConfig:
+    lanes: int
+    tags: Set[str]  # unordered: canonical() cannot order it stably
+    policy: "PolicyKnobs"  # plain class: uncacheable under canonical()

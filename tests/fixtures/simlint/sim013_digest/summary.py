@@ -1,0 +1,13 @@
+# simlint-fixture-module: repro.harness.fix_summary
+"""SIM013 fixture: a summary field the fingerprint never reads."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ExperimentSummary:
+    total_ticks: int
+    dropped: int  # never read by fingerprint(), not exempt
+
+    def fingerprint(self):
+        return ("v1", self.total_ticks)

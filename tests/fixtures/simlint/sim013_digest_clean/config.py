@@ -1,0 +1,19 @@
+# simlint-fixture-module: repro.harness.fix_config
+"""Clean half of the SIM013 pair: every field canonicalizes."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class PolicyKnobs:
+    window: int = 4
+    decay: float = 0.5
+
+
+@dataclass
+class ServerConfig:
+    lanes: int
+    tags: Tuple[str, ...]  # ordered: canonical() walks it stably
+    policy: "PolicyKnobs"  # nested dataclass: walked field by field
+    label: Optional[str] = None

@@ -1,0 +1,14 @@
+# simlint-fixture-module: repro.harness.fix_summary
+"""Clean half of the SIM013 pair: full fingerprint coverage."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ExperimentSummary:
+    total_ticks: int
+    dropped: int
+    wall_seconds: float  # exempt: wall-clock diagnostic by design
+
+    def fingerprint(self):
+        return ("v1", self.total_ticks, self.dropped)

@@ -1,0 +1,20 @@
+# simlint-fixture-module: repro.api
+"""SIM014 fixture: facade carrying drift and a deprecated shim."""
+
+import warnings
+
+
+class Experiment:
+    pass
+
+
+def run_experiment(experiment):
+    return experiment
+
+
+def run_experiment_legacy(experiment):
+    warnings.warn("use run_experiment", DeprecationWarning)
+    return run_experiment(experiment)
+
+
+__all__ = ["Experiment", "run_experiment", "run_experiment_legacy"]

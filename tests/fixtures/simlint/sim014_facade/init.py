@@ -1,0 +1,7 @@
+# simlint-fixture-module: repro
+"""SIM014 fixture: package front door that drifted from repro.api."""
+
+from repro.api import Experiment, run_experiment
+from repro.harness.server import ServerConfig
+
+__all__ = ["Experiment", "ServerConfig", "run_experiment"]

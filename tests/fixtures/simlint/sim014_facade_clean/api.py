@@ -1,0 +1,13 @@
+# simlint-fixture-module: repro.api
+"""Clean half of the SIM014 pair: every export bound, no shims."""
+
+
+class Experiment:
+    pass
+
+
+def run_experiment(experiment):
+    return experiment
+
+
+__all__ = ["Experiment", "run_experiment"]

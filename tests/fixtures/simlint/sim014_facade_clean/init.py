@@ -1,0 +1,6 @@
+# simlint-fixture-module: repro
+"""Clean half of the SIM014 pair: front door mirrors repro.api exactly."""
+
+from repro.api import Experiment, run_experiment
+
+__all__ = ["Experiment", "run_experiment"]

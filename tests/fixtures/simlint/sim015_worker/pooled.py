@@ -1,0 +1,23 @@
+# simlint-fixture-module: repro.harness.fix_pool
+"""SIM015 fixture: worker-path shared-state illusion + torn writes."""
+
+import json
+import multiprocessing
+
+_results = []
+
+
+def _bump_counter(task):
+    global _results  # workers mutate a per-process copy, not shared state
+    _results = _results + [task]
+    return task
+
+
+def run_tasks(tasks):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_bump_counter, tasks)
+
+
+def spill_manifest(path, rows):
+    with open(path, "w") as fh:  # concurrent path, no atomic swap
+        json.dump(rows, fh)

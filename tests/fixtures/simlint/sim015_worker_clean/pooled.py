@@ -1,0 +1,26 @@
+# simlint-fixture-module: repro.harness.fix_pool
+"""Clean half of the SIM015 pair: _worker* convention + atomic swap."""
+
+import json
+import multiprocessing
+import os
+
+_worker_results = []
+
+
+def _bump_counter(task):
+    global _worker_results  # documented process-local convention
+    _worker_results = _worker_results + [task]
+    return task
+
+
+def run_tasks(tasks):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_bump_counter, tasks)
+
+
+def spill_manifest(path, rows):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(rows, fh)
+    os.replace(tmp, path)

@@ -4,13 +4,29 @@ The fixture tree (``tests/fixtures/simlint``) holds one known-bad snippet
 per rule plus a clean control file.  Each fixture's first line declares
 the module it masquerades as (the scope rules key off module names), so
 the snippets never have to live inside ``src/repro``.
+
+Whole-program rules (SIM011-SIM015) get fixture *packages* — directories
+of interacting modules — linted through :func:`tools.simlint.lint_project`
+so the cross-module machinery (import resolution, call graph, taint
+summaries) is on the hook, paired with a clean package proving the rule
+keys on the hazard and not the shape.
 """
 
 from pathlib import Path
 
 import pytest
 
-from tools.simlint import RULES, lint_file, lint_paths, lint_source, module_name_for
+from tools.simlint import (
+    ALL_RULES,
+    PROGRAM_RULES,
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_project,
+    lint_source,
+    module_name_for,
+)
+from tools.simlint.output import DEFAULT_BASELINE, load_baseline
 
 FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
 REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -125,3 +141,76 @@ def test_src_repro_is_simlint_clean():
     """The tree guarantee behind `make analyze`: zero suppressions needed."""
     violations = lint_paths([str(REPO_SRC)])
     assert violations == [], "\n".join(v.render() for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Whole-program rules (SIM011-SIM015)
+# ----------------------------------------------------------------------
+
+#: (fixture package, the one rule it must trip, expected violation count).
+PROGRAM_FIXTURE_CASES = [
+    ("sim011_taint", "SIM011", 4),
+    ("sim012_bus", "SIM012", 3),
+    ("sim013_digest", "SIM013", 3),
+    ("sim014_facade", "SIM014", 4),
+    ("sim015_worker", "SIM015", 2),
+]
+
+
+@pytest.mark.parametrize("dirname,rule,expected", PROGRAM_FIXTURE_CASES)
+def test_program_fixture_catches(dirname, rule, expected):
+    violations = lint_project([str(FIXTURES / dirname)], cache_dir=None)
+    assert violations, f"{dirname} produced no violations"
+    assert {v.rule for v in violations} == {rule}
+    assert len(violations) == expected
+    for v in violations:
+        assert v.line > 1  # never the fixture-module header line
+
+
+@pytest.mark.parametrize("dirname", [d for d, _, _ in PROGRAM_FIXTURE_CASES])
+def test_program_clean_fixture_is_clean(dirname):
+    """Each bad package has a clean twin: the rule keys on the hazard."""
+    violations = lint_project([str(FIXTURES / (dirname + "_clean"))], cache_dir=None)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_every_program_rule_has_a_fixture():
+    assert {rule for _, rule, _ in PROGRAM_FIXTURE_CASES} == set(PROGRAM_RULES)
+
+
+def test_rule_tables_are_disjoint_and_complete():
+    assert not (set(RULES) & set(PROGRAM_RULES))
+    assert set(ALL_RULES) == set(RULES) | set(PROGRAM_RULES)
+
+
+def test_sim011_cross_module_flow_names_the_route():
+    """The wall-clock finding must implicate the helper module it rode in on."""
+    violations = lint_project([str(FIXTURES / "sim011_taint")], cache_dir=None)
+    wallclock = [v for v in violations if "wall-clock" in v.message]
+    assert len(wallclock) == 1
+    assert "total_ticks" in wallclock[0].message
+
+
+def test_program_rules_respect_pragmas(tmp_path):
+    src = (
+        "import time\n"
+        "\n"
+        "def fingerprint():\n"
+        "    return time.time()\n"
+    )
+    bad = tmp_path / "thing.py"
+    bad.write_text(src)
+    assert [v.rule for v in lint_project([str(bad)], cache_dir=None)] == ["SIM011"]
+    bad.write_text(src.replace("time.time()", "time.time()  # simlint: disable=SIM011"))
+    assert lint_project([str(bad)], cache_dir=None) == []
+
+
+def test_src_repro_is_clean_under_full_battery():
+    """The whole-program acceptance gate: SIM001-SIM015 with zero baseline.
+
+    Both halves matter: the tree reports nothing, *and* the committed
+    baseline is empty — no finding is being hidden by a suppression.
+    """
+    violations = lint_project([str(REPO_SRC)], cache_dir=None)
+    assert violations == [], "\n".join(v.render() for v in violations)
+    assert load_baseline(DEFAULT_BASELINE) == []

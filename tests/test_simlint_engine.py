@@ -1,0 +1,103 @@
+"""Engine-layer tests: project model, resolution, call graph, AST cache.
+
+The whole-program rules are only as good as the model underneath them;
+these tests pin the model's contracts directly — import resolution
+through re-export chains, call-graph edges across modules, and the
+parse-once / cache / parallel invariants ``lint_project`` relies on.
+"""
+
+from pathlib import Path
+
+from tools.simlint import lint_project
+from tools.simlint.engine import Project, parse_files, parse_source_file
+
+FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+TAINT_PKG = str(FIXTURES / "sim011_taint")
+
+
+def test_project_load_honors_fixture_headers():
+    project = Project.load([TAINT_PKG])
+    assert sorted(project.modules) == [
+        "repro.harness.fix_cache",
+        "repro.harness.fix_clock",
+        "repro.harness.fix_summarize",
+    ]
+
+
+def test_resolve_follows_imports_across_modules():
+    project = Project.load([TAINT_PKG])
+    assert project.resolve("repro.harness.fix_summarize", ("stamp",)) == (
+        "repro.harness.fix_clock",
+        "stamp",
+    )
+    # Unknown names stay unresolved rather than guessing.
+    assert project.resolve("repro.harness.fix_summarize", ("nonesuch",)) is None
+
+
+def test_resolve_follows_reexport_chains():
+    """repro/__init__ -> repro.api -> the defining module, transitively."""
+    project = Project.load([str(REPO_SRC)])
+    assert project.resolve("repro", ("Experiment",)) == (
+        "repro.harness.experiment",
+        "Experiment",
+    )
+
+
+def test_call_graph_crosses_module_boundaries():
+    project = Project.load([TAINT_PKG])
+    edges = project.call_graph()[("repro.harness.fix_summarize", "build_summary")]
+    assert ("repro.harness.fix_clock", "stamp") in edges
+    assert ("repro.harness.fix_clock", "passthrough") in edges
+
+
+def test_module_graph_edges():
+    project = Project.load([TAINT_PKG])
+    graph = project.module_graph()
+    assert "repro.harness.fix_clock" in graph["repro.harness.fix_summarize"]
+
+
+def test_classes_named_spans_the_project():
+    project = Project.load([str(FIXTURES / "sim013_digest")])
+    assert [mod for mod, _ in project.classes_named("ServerConfig")] == [
+        "repro.harness.fix_config"
+    ]
+
+
+def test_parse_files_populates_and_reuses_cache(tmp_path):
+    cache = tmp_path / "astcache"
+    first = parse_files([TAINT_PKG], cache_dir=cache)
+    entries = list(cache.iterdir())
+    assert len(entries) == len(first) == 3
+    stamps = {p: p.stat().st_mtime_ns for p in entries}
+    second = parse_files([TAINT_PKG], cache_dir=cache)
+    # Same files, no re-store: cached entries are untouched on a hit.
+    assert [f.module for f in second] == [f.module for f in first]
+    assert {p: p.stat().st_mtime_ns for p in cache.iterdir()} == stamps
+
+
+def test_corrupt_cache_entry_falls_back_to_parsing(tmp_path):
+    cache = tmp_path / "astcache"
+    parse_files([TAINT_PKG], cache_dir=cache)
+    for entry in cache.iterdir():
+        entry.write_bytes(b"not a pickle")
+    files = parse_files([TAINT_PKG], cache_dir=cache)
+    assert len(files) == 3  # corrupt entries are ignored, not fatal
+
+
+def test_cache_key_tracks_source_content(tmp_path):
+    cache = tmp_path / "astcache"
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    parse_source_file(str(target), cache_dir=cache)
+    before = len(list(cache.iterdir()))
+    target.write_text("x = 2\n")
+    parse_source_file(str(target), cache_dir=cache)
+    assert len(list(cache.iterdir())) == before + 1  # new content, new key
+
+
+def test_parallel_parse_matches_serial():
+    serial = lint_project([TAINT_PKG], jobs=1, cache_dir=None)
+    parallel = lint_project([TAINT_PKG], jobs=4, cache_dir=None)
+    assert serial == parallel
+    assert len(serial) == 4

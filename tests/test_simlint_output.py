@@ -1,0 +1,157 @@
+"""Output-layer tests: baseline, JSON, SARIF, annotations, and the CLI.
+
+The baseline and the machine-readable formats are load-bearing CI
+surface (the analyze job uploads the SARIF artifact and gates on the
+exit code), so their shapes are pinned here rather than trusted.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.simlint import ALL_RULES
+from tools.simlint.cli import main as simlint_main
+from tools.simlint.output import (
+    apply_baseline,
+    github_annotations,
+    load_baseline,
+    to_json,
+    to_sarif,
+    violation_key,
+    write_baseline,
+)
+from tools.simlint.rules import Violation
+
+FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
+TAINT_PKG = str(FIXTURES / "sim011_taint")
+
+V1 = Violation("src/a.py", 10, 4, "SIM011", "taint reaches a sink")
+V2 = Violation("src/b.py", 3, 0, "SIM012", "orphan publisher")
+
+
+def test_violation_key_is_line_free():
+    moved = Violation("src/a.py", 99, 0, "SIM011", "taint reaches a sink")
+    assert violation_key(V1) == violation_key(moved)
+    assert violation_key(V1) != violation_key(V2)
+
+
+def test_baseline_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [V1, V2])
+    assert load_baseline(path) == sorted([violation_key(V1), violation_key(V2)])
+
+
+def test_baseline_rejects_unknown_format(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_apply_baseline_splits_reported_suppressed_stale():
+    entries = [violation_key(V1), "src/gone.py::SIM013::fixed long ago"]
+    reported, suppressed, stale = apply_baseline([V1, V2], entries)
+    assert reported == [V2]
+    assert suppressed == [V1]
+    assert stale == ["src/gone.py::SIM013::fixed long ago"]
+
+
+def test_to_json_shape():
+    data = json.loads(to_json([V1, V2], suppressed=[V2]))
+    assert data["count"] == 2
+    assert data["suppressed"] == 1
+    assert data["violations"][0] == {
+        "path": "src/a.py", "line": 10, "col": 4,
+        "rule": "SIM011", "message": "taint reaches a sink",
+    }
+
+
+def test_to_sarif_shape():
+    doc = json.loads(to_sarif([V1], ALL_RULES))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(ALL_RULES)
+    result = run["results"][0]
+    assert result["ruleId"] == "SIM011"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 10, "startColumn": 5}  # 1-based column
+
+
+def test_github_annotations_shape():
+    (line,) = github_annotations([V1])
+    assert line == (
+        "::error file=src/a.py,line=10,col=5,"
+        "title=simlint SIM011::taint reaches a sink"
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+
+def test_cli_json_on_bad_fixture(capsys):
+    code = simlint_main([TAINT_PKG, "--json", "--no-cache"])
+    assert code == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["count"] == 4
+    assert {v["rule"] for v in data["violations"]} == {"SIM011"}
+
+
+def test_cli_clean_fixture_exits_zero(capsys):
+    code = simlint_main([str(FIXTURES / "sim011_taint_clean"), "--no-cache"])
+    assert code == 0
+    assert "simlint: clean" in capsys.readouterr().out
+
+
+def test_cli_sarif_file(tmp_path, capsys):
+    out = tmp_path / "report.sarif"
+    code = simlint_main([TAINT_PKG, "--no-cache", "--sarif", str(out), "--json"])
+    assert code == 1
+    doc = json.loads(out.read_text())
+    assert len(doc["runs"][0]["results"]) == 4
+
+
+def test_cli_write_baseline_then_suppress(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert simlint_main(
+        [TAINT_PKG, "--no-cache", "--write-baseline", "--baseline", str(baseline)]
+    ) == 0
+    assert len(load_baseline(baseline)) == 4
+    capsys.readouterr()
+    # With every finding baselined the gate passes and says so.
+    code = simlint_main([TAINT_PKG, "--no-cache", "--baseline", str(baseline)])
+    assert code == 0
+    assert "4 finding(s) suppressed by baseline" in capsys.readouterr().out
+
+
+def test_cli_stale_baseline_noted_on_stderr(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, [V1])  # not a real finding in the fixture
+    code = simlint_main(
+        [str(FIXTURES / "sim011_taint_clean"), "--no-cache", "--baseline", str(baseline)]
+    )
+    assert code == 0
+    assert "stale baseline entr" in capsys.readouterr().err
+
+
+def test_cli_github_annotations(capsys):
+    code = simlint_main([TAINT_PKG, "--no-cache", "--github"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert out.count("::error file=") == 4
+
+
+def test_cli_no_program_skips_whole_program_rules(capsys):
+    code = simlint_main([TAINT_PKG, "--no-cache", "--no-program"])
+    assert code == 0  # the taint fixtures are per-file clean by design
+    assert "simlint: clean" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert simlint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule in out

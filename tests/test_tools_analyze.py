@@ -1,0 +1,79 @@
+"""tools/analyze.py driver tests: exit aggregation and --require.
+
+The driver's one job is an honest exit code: every stage runs, any
+failing (or required-but-missing) stage fails the whole battery, and a
+later green stage can never wash out an earlier red one.
+"""
+
+import pytest
+
+from tools import analyze
+
+
+def _stub_tools(monkeypatch, codes):
+    """Install stub stages returning the given codes; record run order."""
+    ran = []
+
+    def stage(name, code):
+        def run(args):
+            ran.append(name)
+            return code
+        return run
+
+    monkeypatch.setattr(
+        analyze, "TOOLS", {name: stage(name, code) for name, code in codes.items()}
+    )
+    return ran
+
+
+def test_all_green_exits_zero(monkeypatch, capsys):
+    ran = _stub_tools(monkeypatch, {"a": 0, "b": 0})
+    assert analyze.main([]) == 0
+    assert ran == ["a", "b"]
+    assert "analyze: clean" in capsys.readouterr().out
+
+
+def test_early_failure_still_runs_later_stages(monkeypatch, capsys):
+    ran = _stub_tools(monkeypatch, {"a": 1, "b": 0, "c": 2})
+    assert analyze.main([]) == 1
+    assert ran == ["a", "b", "c"]  # no short-circuit: full report every run
+    assert "analyze: FAIL (a, c)" in capsys.readouterr().out
+
+
+def test_skipped_stage_is_not_a_failure(monkeypatch):
+    _stub_tools(monkeypatch, {"a": None, "b": 0})
+    assert analyze.main([]) == 0
+
+
+def test_only_runs_a_single_stage(monkeypatch):
+    ran = _stub_tools(monkeypatch, {"simlint": 0, "ruff": 1, "mypy": 1})
+    assert analyze.main(["--only", "simlint"]) == 0
+    assert ran == ["simlint"]
+
+
+def test_require_unknown_tool_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        analyze.main(["--require", "clippy"])
+    assert exc.value.code == 2
+
+
+def test_require_missing_tool_fails(monkeypatch, capsys):
+    monkeypatch.setattr(analyze.shutil, "which", lambda name: None)
+    status = analyze.run_ruff(
+        analyze.argparse.Namespace(require={"ruff"})
+    )
+    assert status == 1
+    assert "REQUIRED but not installed" in capsys.readouterr().out
+
+
+def test_missing_tool_without_require_skips(monkeypatch, capsys):
+    monkeypatch.setattr(analyze.shutil, "which", lambda name: None)
+    status = analyze.run_mypy(analyze.argparse.Namespace(require=set()))
+    assert status is None
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_real_simlint_stage_is_green(capsys):
+    """End to end through the real simlint battery over src/repro."""
+    assert analyze.main(["--only", "simlint", "--jobs", "1"]) == 0
+    assert "analyze: clean" in capsys.readouterr().out

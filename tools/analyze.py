@@ -3,21 +3,24 @@
 
 ``make analyze`` runs this.  The repo-specific simlint pass
 (:mod:`tools.simlint`) always runs — it has no dependencies beyond the
-standard library.  ruff and mypy are development-environment tools that
-may not be installed (the simulator itself needs nothing outside the
-stdlib); when one is missing it is *skipped with a notice* rather than
-failing, so `make analyze` is useful both on a bare checkout and in CI
-(where the workflow installs both and every tool really runs).
+standard library — and covers the full SIM001-SIM015 battery including
+the whole-program engine.  ruff and mypy are development-environment
+tools that may not be installed (the simulator itself needs nothing
+outside the stdlib); when one is missing it is *skipped with a notice*
+rather than failing, so ``make analyze`` is useful on a bare checkout.
+CI passes ``--require ruff,mypy`` to turn those skips into failures —
+the gate is only as good as the tools that actually ran.
 
-Exit status is non-zero iff any tool that actually ran reported
-problems.  mypy is scoped to the strictly-typed subset
-(``repro.mem``/``repro.obs``/``repro.analysis``); ruff covers the whole
-tree with the pyproject configuration.
+The exit code aggregates across every stage: any stage that ran and
+failed (or was required and missing) fails the driver, regardless of
+what later stages report.
 
 Usage::
 
-    PYTHONPATH=src python tools/analyze.py          # all available tools
+    PYTHONPATH=src python tools/analyze.py            # all available tools
     PYTHONPATH=src python tools/analyze.py --only simlint
+    PYTHONPATH=src python tools/analyze.py --require ruff,mypy \\
+        --sarif simlint.sarif --github                # what CI runs
 """
 
 from __future__ import annotations
@@ -44,14 +47,22 @@ MYPY_TARGETS = [
 RUFF_TARGETS = ["src", "tests", "tools", "benchmarks"]
 
 
-def run_simlint() -> int:
+def run_simlint(args: argparse.Namespace) -> int:
     print("== simlint ==")
-    return simlint_cli.main(["src/repro"])
+    argv = ["src/repro", "--jobs", str(args.jobs)]
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.github:
+        argv.append("--github")
+    return simlint_cli.main(argv)
 
 
-def _run_external(tool: str, argv: list[str]) -> int | None:
-    """Run an optional external tool; ``None`` means it is not installed."""
+def _run_external(tool: str, argv: list[str], required: bool) -> int | None:
+    """Run an optional external tool; ``None`` means skipped-and-allowed."""
     if shutil.which(tool) is None:
+        if required:
+            print(f"== {tool} == REQUIRED but not installed (pip install {tool})")
+            return 1
         print(f"== {tool} == not installed, skipped (pip install {tool})")
         return None
     print(f"== {tool} ==")
@@ -59,12 +70,12 @@ def _run_external(tool: str, argv: list[str]) -> int | None:
     return proc.returncode
 
 
-def run_ruff() -> int | None:
-    return _run_external("ruff", ["check", *RUFF_TARGETS])
+def run_ruff(args: argparse.Namespace) -> int | None:
+    return _run_external("ruff", ["check", *RUFF_TARGETS], "ruff" in args.require)
 
 
-def run_mypy() -> int | None:
-    return _run_external("mypy", MYPY_TARGETS)
+def run_mypy(args: argparse.Namespace) -> int | None:
+    return _run_external("mypy", MYPY_TARGETS, "mypy" in args.require)
 
 
 TOOLS = {
@@ -81,12 +92,35 @@ def main(argv=None) -> int:
         choices=sorted(TOOLS),
         help="run a single tool instead of the full battery",
     )
+    parser.add_argument(
+        "--require",
+        default="",
+        metavar="TOOLS",
+        help="comma-separated external tools that must be installed "
+        "(CI passes ruff,mypy; missing ones then fail instead of skipping)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="simlint parse parallelism (default: 4)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="write the simlint SARIF report to FILE",
+    )
+    parser.add_argument(
+        "--github", action="store_true",
+        help="emit GitHub ::error annotations for simlint findings",
+    )
     args = parser.parse_args(argv)
+    args.require = {t.strip() for t in args.require.split(",") if t.strip()}
+    unknown = args.require - set(TOOLS)
+    if unknown:
+        parser.error(f"--require names unknown tools: {', '.join(sorted(unknown))}")
 
     names = [args.only] if args.only else list(TOOLS)
     failed: list[str] = []
     for name in names:
-        status = TOOLS[name]()
+        status = TOOLS[name](args)
         if status is not None and status != 0:
             failed.append(name)
     if failed:

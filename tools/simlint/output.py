@@ -1,0 +1,159 @@
+"""Machine-readable simlint output: JSON, SARIF 2.1.0, CI annotations.
+
+Three consumers, three shapes:
+
+* ``--json`` — a stable object for scripts and the self-tests;
+* ``--sarif`` — SARIF 2.1.0 for code-scanning upload and the CI artifact;
+* ``--github`` — ``::error`` workflow commands so findings annotate the
+  diff in a pull request.
+
+The suppression *baseline* also lives here: a committed JSON file of
+finding keys (``path::rule::message`` — line-free, so the baseline
+survives unrelated edits) that are reported as suppressed instead of
+failing the run.  The tree guarantee is that ``src/repro`` needs an
+*empty* baseline; a non-empty one is a visible debt list, not a dumping
+ground.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .rules import Violation
+
+BASELINE_VERSION = 1
+
+#: The committed default baseline location (relative to the repo root).
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def violation_key(v: Violation) -> str:
+    """Line-free identity of a finding (stable across unrelated edits)."""
+    return f"{v.path}::{v.rule}::{v.message}"
+
+
+def load_baseline(path: Path) -> List[str]:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    entries = data.get("entries", [])
+    if not isinstance(entries, list) or not all(isinstance(e, str) for e in entries):
+        raise ValueError(f"baseline entries in {path} must be strings")
+    return entries
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": sorted({violation_key(v) for v in violations}),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Sequence[str]
+) -> Tuple[List[Violation], List[Violation], List[str]]:
+    """Split into (reported, suppressed, stale-baseline-entries)."""
+    known = set(entries)
+    reported: List[Violation] = []
+    suppressed: List[Violation] = []
+    hit: set = set()
+    for v in violations:
+        key = violation_key(v)
+        if key in known:
+            suppressed.append(v)
+            hit.add(key)
+        else:
+            reported.append(v)
+    stale = sorted(known - hit)
+    return reported, suppressed, stale
+
+
+def to_json(
+    violations: Sequence[Violation], suppressed: Sequence[Violation] = ()
+) -> str:
+    return json.dumps(
+        {
+            "violations": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "rule": v.rule,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            "suppressed": len(suppressed),
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def to_sarif(
+    violations: Sequence[Violation], rule_descriptions: Dict[str, str]
+) -> str:
+    """SARIF 2.1.0 document covering every rule, with one result per finding."""
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            # SARIF columns are 1-based; AST cols are 0-based.
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "docs/analysis.md",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": desc},
+                            }
+                            for rule, desc in sorted(rule_descriptions.items())
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def github_annotations(violations: Sequence[Violation]) -> List[str]:
+    """``::error`` workflow commands: one per finding, annotating the diff."""
+    return [
+        f"::error file={v.path},line={v.line},col={v.col + 1},"
+        f"title=simlint {v.rule}::{v.message}"
+        for v in violations
+    ]

@@ -796,6 +796,19 @@ def lint_source(
 ) -> List[Violation]:
     """Lint one module's source under the rules for ``module``."""
     tree = ast.parse(source, filename=path)
+    return lint_tree(tree, source, module, path)
+
+
+def lint_tree(
+    tree: ast.Module, source: str, module: str, path: str = "<string>"
+) -> List[Violation]:
+    """Lint an already-parsed module (the shared-AST entry point).
+
+    The whole-program driver (:func:`tools.simlint.lint_project`) parses
+    every file exactly once through the engine's cached parser and hands
+    the same tree to the per-file rule pack here and to the
+    cross-module passes — no rule re-parses.
+    """
     checker = _Checker(module, path)
     # Pre-pass: record every function definition so subscribe() calls that
     # lexically precede their handler's def still resolve.
