@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-benchmarks bench bench-check bench-smoke validate lint analyze check faults-smoke rack-smoke serve-smoke
+.PHONY: test test-benchmarks bench bench-check bench-smoke validate lint analyze check faults-smoke rack-smoke serve-smoke tenants-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,12 @@ faults-smoke:
 rack-smoke:
 	$(PYTHON) -m repro.cli rack --servers 2 --flows 1024 --rate 20 \
 		--duration-us 100 --jobs 2 --checked
+
+# Tenant-tier smoke gate: the 2-tenant noisy-neighbor isolation sweep
+# under DDIO vs IDIO vs IOCA with checked mode on; fails unless the
+# victim's p99 improves under IOCA's way partitioning (see docs/api.md).
+tenants-smoke:
+	$(PYTHON) tools/tenants_smoke.py
 
 # Result-cache daemon smoke gate: boot `repro serve` on a throwaway
 # socket/cache, run the same tiny sweep twice, and require the second

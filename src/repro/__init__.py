@@ -45,21 +45,25 @@ from .api import (
     Simulator,
     SweepRecord,
     SweepResult,
+    TenantConfig,
+    TenantSet,
     all_policies,
     build_server,
     ddio,
     idio,
+    ioca,
     run_experiment,
     run_experiments,
     run_policy_comparison,
     run_rack,
     run_serve,
     run_sweep,
+    run_tenants,
     standard_plan,
     units,
 )
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "Experiment",
@@ -80,16 +84,20 @@ __all__ = [
     "Simulator",
     "SweepRecord",
     "SweepResult",
+    "TenantConfig",
+    "TenantSet",
     "all_policies",
     "build_server",
     "ddio",
     "idio",
+    "ioca",
     "run_experiment",
     "run_experiments",
     "run_policy_comparison",
     "run_rack",
     "run_serve",
     "run_sweep",
+    "run_tenants",
     "standard_plan",
     "units",
 ]

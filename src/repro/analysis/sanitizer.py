@@ -86,6 +86,7 @@ class InvariantSanitizer:
         self._countdown = barrier_interval
         self._pools: List = []  # repro.cpu.mempool.BufferPool
         self._controller = None  # repro.core.controller.IDIOController
+        self._tenants = None  # repro.tenants.config.TenantSet
         self._attached = False
         self._saved_record_hops = False
         #: Fault kinds the registered plan declares (None = no plan).
@@ -126,6 +127,17 @@ class InvariantSanitizer:
     def register_controller(self, controller) -> None:
         """Track an IDIO controller's per-core status FSMs."""
         self._controller = controller
+
+    def register_tenants(self, tenants) -> None:
+        """Track a :class:`~repro.tenants.config.TenantSet`'s way quotas.
+
+        With tenants registered, every barrier additionally asserts the
+        way-partition conservation invariant: per-tenant I/O way masks
+        stay inside the DDIO partition, never overlap (no LLC way — and
+        hence no line placement — attributed to two tenants), and their
+        union never exceeds the partition.
+        """
+        self._tenants = tenants
 
     def register_faults(self, plan) -> None:
         """Declare the run's :class:`~repro.faults.plan.FaultPlan`.
@@ -260,6 +272,7 @@ class InvariantSanitizer:
             self._check_cache_structures()
             self._check_fsm_states()
             self._check_pools()
+            self._check_tenant_ways()
         except InvariantViolation:
             self.violations_raised += 1
             raise
@@ -400,6 +413,49 @@ class InvariantSanitizer:
                     f"{pool.frees} frees = {outstanding} outstanding, but "
                     f"{pool.count - len(pool._free)} buffers are off the "
                     "free list",
+                )
+
+    def _check_tenant_ways(self) -> None:
+        if self._tenants is None:
+            return
+        llc = self.hierarchy.llc
+        table = llc.tenant_way_table()
+        if not table:
+            return
+        claimed: Dict[int, int] = {}
+        total = 0
+        for tenant, ways in sorted(table.items()):
+            total += len(ways)
+            for way in ways:
+                if not 0 <= way < llc.ddio_ways:
+                    raise InvariantViolation(
+                        "tenant-way-quota",
+                        f"tenant {tenant}'s mask claims way {way} outside "
+                        f"the {llc.ddio_ways}-way DDIO partition",
+                    )
+                if way in claimed:
+                    raise InvariantViolation(
+                        "tenant-way-quota",
+                        f"LLC way {way} claimed by tenants {claimed[way]} "
+                        f"and {tenant} at once (a line in that way would be "
+                        "attributed to two tenants)",
+                    )
+                claimed[way] = tenant
+        if total > llc.ddio_ways:
+            raise InvariantViolation(
+                "tenant-way-quota",
+                f"tenant way masks cover {total} ways but the DDIO "
+                f"partition has only {llc.ddio_ways}",
+            )
+        # Dynamic apportionment may never starve a tenant below its
+        # quota floor.
+        for tenant in self._tenants:
+            ways = table.get(tenant.tenant_id)
+            if ways is not None and len(ways) < tenant.llc_way_quota:
+                raise InvariantViolation(
+                    "tenant-way-quota",
+                    f"tenant {tenant.tenant_id} holds {len(ways)} ways, "
+                    f"below its quota floor of {tenant.llc_way_quota}",
                 )
 
     # ------------------------------------------------------------------

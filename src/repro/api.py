@@ -21,6 +21,10 @@ The facade covers the three things external code does:
 * **rack-scale sweeps** — :class:`RackConfig` / :class:`SimulatedRack` /
   :func:`run_rack`, a ToR load balancer steering flows across N servers
   and folding per-server summaries into a :class:`RackSummary`;
+* **multi-tenant isolation** — :class:`TenantConfig` / :class:`TenantSet`
+  riding on ``ServerConfig.tenants`` for per-tenant flow tagging and DMA
+  attribution, the :func:`ioca` dynamic way-partitioning policy, and
+  :func:`run_tenants`, the policy x intensity isolation matrix;
 * **result caching** — :class:`ResultCache`, the fingerprint-keyed
   on-disk memoization every runner entry point consults (hits are
   byte-identical to cold recomputes), and :func:`run_serve`, the
@@ -31,7 +35,7 @@ The facade covers the three things external code does:
 from __future__ import annotations
 
 from .cache import ResultCache, run_serve
-from .core.policies import PolicyConfig, all_policies, ddio, idio
+from .core.policies import PolicyConfig, all_policies, ddio, idio, ioca
 from .faults import (
     FAULT_KINDS,
     FAULT_LAYERS,
@@ -56,6 +60,8 @@ from .harness.runner import (
 from .harness.server import ServerConfig, SimulatedServer
 from .rack import RackConfig, RackSummary, SimulatedRack, run_rack
 from .sim import Simulator, units
+from .tenants.config import TenantConfig, TenantSet
+from .tenants.sweep import run_tenants
 
 
 def build_server(config: ServerConfig) -> SimulatedServer:
@@ -90,16 +96,20 @@ __all__ = [
     "Simulator",
     "SweepRecord",
     "SweepResult",
+    "TenantConfig",
+    "TenantSet",
     "all_policies",
     "build_server",
     "ddio",
     "idio",
+    "ioca",
     "run_experiment",
     "run_experiments",
     "run_policy_comparison",
     "run_rack",
     "run_serve",
     "run_sweep",
+    "run_tenants",
     "standard_plan",
     "units",
 ]

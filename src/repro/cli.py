@@ -12,6 +12,7 @@ Installed as the ``idio-repro`` console script::
     idio-repro check --quick                       # sanitizer + determinism
     idio-repro faults --quick                      # degradation matrix
     idio-repro rack --servers 4 --jobs 4           # rack-scale fleet sweep
+    idio-repro tenants --policies ddio,idio,ioca   # isolation matrix
     idio-repro compare --cache-dir .repro-cache    # memoize the sweep
     idio-repro cache stats                         # result-cache census
     idio-repro serve --socket /tmp/repro.sock      # sweep daemon
@@ -19,7 +20,9 @@ Installed as the ``idio-repro`` console script::
 The flag vocabulary is shared across subcommands via argparse parent
 parsers: every command that runs experiments accepts the same
 ``--workload``/``--app``, ``--policy``, ``--jobs``, ``--seed``, and
-``--out`` spellings with the same semantics.  Caching is opt-in:
+``--out`` spellings with the same semantics, and the multi-tenant
+commands (``tenants``, ``faults``, ``rack``) share the scenario
+vocabulary ``--tenants``/``--tenant-mix``/``--intensity``.  Caching is opt-in:
 ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable)
 installs a result cache for the invocation, and ``--no-cache`` disables
 it even when the variable is set.
@@ -147,7 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="run the fault-injection degradation matrix "
         "(policy x fault layer x intensity)",
-        parents=[_workload_parent(), _jobs_parent(), _cache_parent()],
+        parents=[
+            _workload_parent(),
+            _jobs_parent(),
+            _cache_parent(),
+            _scenario_parent(),
+        ],
     )
     faults_p.add_argument(
         "--policies",
@@ -219,7 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
         "rack",
         help="run a rack-scale sweep: a ToR load balancer steering flows "
         "across N simulated servers",
-        parents=[_jobs_parent(), _policy_parent("ddio"), _cache_parent()],
+        parents=[
+            _jobs_parent(),
+            _policy_parent("ddio"),
+            _cache_parent(),
+            _scenario_parent(),
+        ],
     )
     rack_p.add_argument(
         "--servers",
@@ -274,6 +287,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rack_p.add_argument(
         "--out", metavar="PATH", help="write the rack summary JSON to this file"
+    )
+
+    tenants_p = sub.add_parser(
+        "tenants",
+        help="run the multi-tenant isolation matrix "
+        "(policy x tenant mix x aggressor intensity)",
+        parents=[_jobs_parent(), _cache_parent(), _scenario_parent()],
+    )
+    tenants_p.set_defaults(tenants=2)
+    tenants_p.add_argument(
+        "--policies",
+        default="ddio,idio,ioca",
+        help="comma-separated policy names (default: %(default)s)",
+    )
+    tenants_p.add_argument(
+        "--intensities",
+        default="0.25,1,2",
+        help="comma-separated aggressor intensities; the lowest is each "
+        "policy's isolation baseline (default: %(default)s)",
+    )
+    tenants_p.add_argument(
+        "--seed",
+        type=int,
+        default=1234,
+        help="tenant-set sweep seed (default: %(default)s)",
+    )
+    tenants_p.add_argument(
+        "--duration-us",
+        type=float,
+        default=200.0,
+        help="traffic duration per cell (default: %(default)s)",
+    )
+    tenants_p.add_argument(
+        "--checked",
+        action="store_true",
+        help="attach the invariant sanitizer (way-quota conservation) "
+        "to every cell",
+    )
+    tenants_p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="export per-tenant degradation curves as a Chrome-trace JSON",
+    )
+    tenants_p.add_argument(
+        "--out", metavar="PATH", help="write the sweep summary JSON to this file"
     )
 
     cache_p = sub.add_parser(
@@ -431,6 +489,54 @@ def _cache_parent() -> argparse.ArgumentParser:
         help="disable the result cache for this invocation",
     )
     return p
+
+
+def _scenario_parent() -> argparse.ArgumentParser:
+    """Shared multi-tenant scenario vocabulary (``tenants``/``faults``/``rack``).
+
+    ``--tenants 0`` (the default everywhere but the ``tenants``
+    subcommand) means single-tenant: no :class:`TenantSet` is attached
+    and the flags are inert.  With ``--tenants N`` the named mix from
+    :data:`repro.tenants.scenarios.TENANT_MIXES` rides on every server
+    config the subcommand builds, at one aggressor ``--intensity``.
+    """
+    from .tenants.scenarios import TENANT_MIXES
+
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="co-located tenants per server (0 = single-tenant)",
+    )
+    p.add_argument(
+        "--tenant-mix",
+        choices=TENANT_MIXES,
+        default="noisy-neighbor",
+        help="scenario pack shaping the tenant set (default: %(default)s)",
+    )
+    p.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="aggressor-load scale for the tenant mix (default: %(default)s)",
+    )
+    return p
+
+
+def _tenant_set(args: argparse.Namespace, seed: int):
+    """The :class:`TenantSet` requested by the scenario flags, or ``None``."""
+    if getattr(args, "tenants", 0) <= 0:
+        return None
+    from .tenants.scenarios import tenant_mix
+
+    return tenant_mix(
+        args.tenant_mix,
+        tenants=args.tenants,
+        intensity=args.intensity,
+        seed=seed,
+    )
 
 
 def _workload_parent() -> argparse.ArgumentParser:
@@ -740,6 +846,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
     ring = 128 if args.quick else args.ring
     rate = min(args.rate, 50.0) if args.quick else args.rate
+    tenant_set = _tenant_set(args, args.seed)
 
     def make_experiment(policy_name: str, label: str, plan: FaultPlan) -> Experiment:
         server = ServerConfig(
@@ -749,9 +856,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
             packet_bytes=args.packet_bytes,
             antagonist=args.antagonist,
             recycle_mode=args.recycle,
-            num_nf_cores=args.nf_cores,
+            num_nf_cores=(
+                tenant_set.total_nf_cores if tenant_set is not None
+                else args.nf_cores
+            ),
             checked_mode=args.checked,
             fault_plan=plan,
+            tenants=tenant_set,
         )
         return Experiment(
             name=f"faults-{policy_name}-{label}",
@@ -837,12 +948,17 @@ def cmd_rack(args: argparse.Namespace) -> int:
     from .obs.trace import RackTraceRecorder
     from .rack import RackConfig, SimulatedRack
 
+    tenant_set = _tenant_set(args, args.seed)
     config = RackConfig(
         name="cli-rack",
         num_servers=args.servers,
         server=ServerConfig(
             policy=policies.policy_by_name(args.policy),
             checked_mode=args.checked,
+            num_nf_cores=(
+                tenant_set.total_nf_cores if tenant_set is not None else 2
+            ),
+            tenants=tenant_set,
         ),
         total_flows=args.flows,
         steering=args.steering,
@@ -872,6 +988,73 @@ def cmd_rack(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"(rack summary written to {args.out})")
     return 0
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    """Run the multi-tenant isolation matrix and print it.
+
+    Cells (policy x aggressor intensity over one scenario pack) fan out
+    through the resilient sweep runner, so they shard over the warm pool
+    (``--jobs``) and memoize in the result cache; the footer scores each
+    policy's worst victim-p99 degradation.  With ``--trace-out`` a
+    :class:`~repro.obs.trace.TenantTraceRecorder` captures the
+    per-tenant degradation curves as a Chrome trace.
+    """
+    import json
+
+    from .obs.bus import EventBus
+    from .obs.trace import TenantTraceRecorder
+    from .tenants.sweep import run_tenants
+
+    names = [n.strip() for n in args.policies.split(",") if n.strip()]
+    if not names:
+        print("no policies given", file=sys.stderr)
+        return 2
+    if args.tenants < 1:
+        print("--tenants must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        configs = [policies.policy_by_name(name) for name in names]
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        intensities = [float(x) for x in args.intensities.split(",") if x.strip()]
+    except ValueError:
+        print(f"invalid --intensities {args.intensities!r}", file=sys.stderr)
+        return 2
+    if not intensities:
+        print("empty --intensities", file=sys.stderr)
+        return 2
+
+    bus = None
+    recorder = None
+    if args.trace_out:
+        bus = EventBus()
+        recorder = TenantTraceRecorder().attach(bus)
+    summary = run_tenants(
+        configs,
+        mix=args.tenant_mix,
+        tenants=args.tenants,
+        intensities=intensities,
+        seed=args.seed,
+        duration_us=args.duration_us,
+        jobs=args.jobs,
+        checked=args.checked,
+        bus=bus,
+    )
+    print(summary.render())
+    print(f"sweep fingerprint: {summary.fingerprint}")
+    if recorder is not None:
+        events = recorder.export(args.trace_out)
+        recorder.detach()
+        print(f"wrote {events} trace events to {args.trace_out}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(summary.to_json(), fh, indent=2)
+            fh.write("\n")
+        print(f"(sweep summary written to {args.out})")
+    return summary.exit_code
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -1012,6 +1195,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "rack": cmd_rack,
         "trace": cmd_trace,
         "faults": cmd_faults,
+        "tenants": cmd_tenants,
         "cache": cmd_cache,
         "serve": cmd_serve,
     }

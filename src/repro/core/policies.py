@@ -44,6 +44,13 @@ class PolicyConfig:
     #: CacheDirector-style header slice steering (related-work baseline;
     #: requires a sliced LLC, mutually exclusive with IDIO steering).
     slice_header_steering: bool = False
+    #: Multi-tenant I/O way partitioning (IOCA-style, related work):
+    #: ``"none"`` leaves the DDIO ways shared, ``"static"`` pins each
+    #: tenant's quota at construction, ``"dynamic"`` installs an
+    #: :class:`~repro.core.ioca.IOCAController` that reapportions ways
+    #: from observed per-tenant I/O rates at epoch boundaries.  Only
+    #: meaningful when ``ServerConfig.tenants`` is set.
+    tenant_partitioning: str = "none"
     idio: IDIOConfig = field(default_factory=IDIOConfig)
 
     def __post_init__(self) -> None:
@@ -64,6 +71,21 @@ class PolicyConfig:
             raise ValueError(
                 "slice_header_steering is a standalone baseline; it cannot "
                 "be combined with IDIO or IAT mechanisms"
+            )
+        if self.tenant_partitioning not in ("none", "static", "dynamic"):
+            raise ValueError(
+                f"unknown tenant_partitioning {self.tenant_partitioning!r}; "
+                "choose from ('none', 'static', 'dynamic')"
+            )
+        if self.tenant_partitioning != "none" and (
+            self.prefetch_mode != PREFETCH_OFF
+            or self.direct_dram
+            or self.dynamic_ddio_ways
+            or self.slice_header_steering
+        ):
+            raise ValueError(
+                "tenant_partitioning is a standalone baseline; it cannot be "
+                "combined with IDIO, IAT, or CacheDirector mechanisms"
             )
 
     @property
@@ -146,6 +168,22 @@ def cachedirector() -> PolicyConfig:
     return PolicyConfig(name="cachedirector", slice_header_steering=True)
 
 
+def ioca() -> PolicyConfig:
+    """IOCA-style dynamic per-tenant I/O way partitioning (related work).
+
+    Installs an :class:`~repro.core.ioca.IOCAController` that samples
+    per-tenant DMA rates off the event bus and reapportions the DDIO
+    partition between tenants at epoch boundaries.  Requires a tenanted
+    ``ServerConfig``; without tenants it degrades to plain DDIO.
+    """
+    return PolicyConfig(name="ioca", tenant_partitioning="dynamic")
+
+
+def static_partition() -> PolicyConfig:
+    """Static per-tenant I/O way quotas (the IOCA comparison baseline)."""
+    return PolicyConfig(name="static-partition", tenant_partitioning="static")
+
+
 def all_policies() -> Dict[str, PolicyConfig]:
     """The five Fig. 9 configurations, keyed by name."""
     configs = [ddio(), invalidate_only(), prefetch_only(), static_idio(), idio()]
@@ -155,7 +193,7 @@ def all_policies() -> Dict[str, PolicyConfig]:
 def extended_policies() -> Dict[str, PolicyConfig]:
     """Fig. 9 configurations plus the extension/ablation policies."""
     table = all_policies()
-    for extra in (regulated_idio(), iat(), cachedirector()):
+    for extra in (regulated_idio(), iat(), cachedirector(), ioca(), static_partition()):
         table[extra.name] = extra
     return table
 

@@ -133,6 +133,12 @@ class ExperimentSummary:
     attempts: int = 1
     #: Injected-fault counts by kind (empty for a fault-free run).
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-tenant attribution (empty for an untenanted server): tenant id
+    #: -> ``{"completed", "p50_us", "p95_us", "p99_us", "dma_writes",
+    #: "io_lines", "io_ways"}``.  Percentiles use 0.0 as the "no
+    #: completions" sentinel (never ``None`` — the dict stays
+    #: homogeneous and fingerprintable).
+    tenant_stats: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def p50_ns(self) -> Optional[float]:
@@ -229,6 +235,10 @@ class ExperimentSummary:
             self.headers_steered,
             self.events_fired,
             tuple(sorted(self.fault_counts.items())),
+            tuple(
+                (tenant, tuple(sorted(stats.items())))
+                for tenant, stats in sorted(self.tenant_stats.items())
+            ),
         )
 
 
@@ -365,6 +375,7 @@ class ExperimentResult:
             wall_seconds=server.sim.wall_seconds,
             events_per_second=server.sim.events_per_second,
             fault_counts=dict(server.fault_counts),
+            tenant_stats=server.tenant_stats(),
         )
 
     def drop_server(self) -> None:
@@ -381,7 +392,15 @@ def run_experiment(experiment: Experiment) -> ExperimentResult:
     server = SimulatedServer(experiment.server)
     server.start()
 
-    if experiment.traffic == "bursty":
+    if experiment.server.tenants is not None:
+        # Tenanted servers ignore the experiment-level traffic kind: each
+        # tenant's flows follow the tenant's own profile (the per-flow
+        # seeds come from the tenant RNG streams, not ``traffic_seed``).
+        offered = server.inject_tenants(
+            experiment.steady_duration, start=experiment.traffic_start
+        )
+        traffic_end = experiment.traffic_start + experiment.steady_duration
+    elif experiment.traffic == "bursty":
         offered = server.inject_bursty(
             experiment.burst_rate_gbps,
             packets_per_burst=experiment.packets_per_burst,

@@ -16,13 +16,14 @@ packets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.sanitizer import InvariantSanitizer
 from ..core.cachedirector import CacheDirectorController
 from ..core.config import IDIOConfig
 from ..core.controller import IDIOController
 from ..core.iat import IATController
+from ..core.ioca import IOCAController
 from ..core.policies import (
     PREFETCH_OFF,
     PREFETCH_STATIC,
@@ -47,7 +48,7 @@ from ..faults import FaultEvent, FaultInjectors, FaultPlan
 from ..mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..mem.line import num_lines
 from ..mem.stats import StatsBundle
-from ..net.flow import make_flow
+from ..net.flow import make_flow, make_tenant_flow
 from ..net.packet import MTU_FRAME_BYTES, Packet
 from ..net.traffic import (
     BurstProfile,
@@ -63,6 +64,7 @@ from ..nic.nic import NIC, NicConfig
 from ..obs.trace import TraceRecorder
 from ..pcie.root_complex import RootComplex
 from ..sim import Simulator, units
+from ..tenants.config import TenantSet, tenant_rng
 
 APP_FACTORIES: Dict[str, Callable[[Optional[CostModel]], NetworkFunction]] = {
     "touchdrop": lambda cost: TouchDrop(cost),
@@ -140,15 +142,25 @@ class ServerConfig:
     #: leaves every layer on its zero-cost fast path; ``harness.*`` kinds
     #: are interpreted by the sweep runner, not the server.
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Co-located tenants (``repro.tenants``).  When set, NF cores are
+    #: assigned to tenants in contiguous blocks (``num_nf_cores`` must
+    #: equal the set's total), flows carry tenant tags, DMA writes are
+    #: attributed per tenant, and ``tenant_partitioning`` policies can
+    #: split the DDIO ways between tenants.  ``None`` keeps the classic
+    #: single-tenant server with zero added hot-path cost.
+    tenants: Optional[TenantSet] = None
 
     def app_for_core(self, core: int) -> str:
+        if self.tenants is not None and core < self.num_nf_cores:
+            return self.tenants.tenants[self.tenants.core_tenant(core)].app
         if self.apps is None:
             return self.app
         return self.apps[core]
 
     @property
     def num_cores(self) -> int:
-        return self.num_nf_cores + (1 if self.antagonist else 0)
+        extra = self.tenants.num_antagonists if self.tenants is not None else 0
+        return self.num_nf_cores + (1 if self.antagonist else 0) + extra
 
     @property
     def antagonist_core(self) -> Optional[int]:
@@ -182,6 +194,20 @@ class SimulatedServer:
                 raise ValueError(
                     f"unknown app {name!r}; choose from {sorted(APP_FACTORIES)}"
                 )
+        if config.tenants is not None:
+            if config.tenants.total_nf_cores != config.num_nf_cores:
+                raise ValueError(
+                    f"tenant set needs {config.tenants.total_nf_cores} NF cores "
+                    f"but the server config provides {config.num_nf_cores}"
+                )
+            if (
+                config.policy.tenant_partitioning != "none"
+                and config.tenants.total_way_quota > config.ddio_ways
+            ):
+                raise ValueError(
+                    f"tenant way quotas sum to {config.tenants.total_way_quota} "
+                    f"but the server has only {config.ddio_ways} DDIO ways"
+                )
         self.config = config
         self.sim = Simulator()
         self.stats = StatsBundle()
@@ -189,6 +215,11 @@ class SimulatedServer:
         mlc_sizes = [config.nf_mlc_bytes] * config.num_nf_cores
         if config.antagonist:
             mlc_sizes.append(config.antagonist_mlc_bytes)
+        if config.tenants is not None:
+            # Per-tenant antagonist cores (LLC-sensitive, small MLC).
+            mlc_sizes.extend(
+                [config.antagonist_mlc_bytes] * config.tenants.num_antagonists
+            )
         llc_slices = config.llc_slices
         if config.policy.slice_header_steering and llc_slices == 0:
             llc_slices = 8  # CacheDirector needs a NUCA topology
@@ -290,6 +321,7 @@ class SimulatedServer:
         self.controller: Optional[IDIOController] = None
         self.iat_controller: Optional[IATController] = None
         self.cachedirector: Optional[CacheDirectorController] = None
+        self.ioca_controller: Optional[IOCAController] = None
         if config.policy.needs_controller:
             self.controller = IDIOController(
                 self.sim,
@@ -307,6 +339,20 @@ class SimulatedServer:
         elif config.policy.slice_header_steering:
             self.cachedirector = CacheDirectorController(self.sim, self.hierarchy)
             self.root_complex.attach_controller(self.cachedirector.steer)
+        elif config.policy.tenant_partitioning == "dynamic" and config.tenants is not None:
+            self.ioca_controller = IOCAController(
+                self.sim, self.hierarchy, config.tenants
+            )
+        elif config.policy.tenant_partitioning == "static" and config.tenants is not None:
+            # Static quota baseline: each tenant gets exactly its quota,
+            # contiguous in tenant order, fixed for the whole run.
+            start_way = 0
+            for tenant in config.tenants:
+                self.hierarchy.llc.set_tenant_io_ways(
+                    tenant.tenant_id,
+                    range(start_way, start_way + tenant.llc_way_quota),
+                )
+                start_way += tenant.llc_way_quota
 
         # -- per-NF-core plumbing ------------------------------------------
         alloc = _Allocator()
@@ -317,11 +363,28 @@ class SimulatedServer:
         self.apps: List[NetworkFunction] = []
         self.drivers: List[PollModeDriver] = []
         self.generators: List[TrafficGenerator] = []
+        #: Tenant id behind each generator (parallel to ``generators``;
+        #: all zeros on an untenanted server).
+        self._generator_tenants: List[int] = []
+        #: ``(start, end, tenant)`` DMA attribution ranges (tenanted only).
+        self.tenant_ranges: List[Tuple[int, int, int]] = []
+        tenant_slots: Dict[int, int] = {}
         stride = config.nic.buffer_stride
         for i in range(config.num_nf_cores):
             port = self.nics[i % len(self.nics)]
+            core_tenant = (
+                config.tenants.core_tenant(i) if config.tenants is not None else 0
+            )
             desc_base = alloc.take(config.ring_size * DESCRIPTOR_BYTES)
             self.page_table.map_range(desc_base, config.ring_size * DESCRIPTOR_BYTES)
+            if config.tenants is not None:
+                self.tenant_ranges.append(
+                    (
+                        desc_base,
+                        desc_base + config.ring_size * DESCRIPTOR_BYTES,
+                        core_tenant,
+                    )
+                )
 
             buffer_pool = None
             copy_pool = None
@@ -331,12 +394,14 @@ class SimulatedServer:
                 # slots are reserved out of the pool.
                 total = config.ring_size * max(2, config.reallocate_pool_factor)
                 buf_base = alloc.take(total * stride)
+                buf_bytes = total * stride
                 buffer_pool = BufferPool(buf_base, stride, total)
                 for slot in range(config.ring_size):
                     buffer_pool.reserve(buf_base + slot * stride)
                 self.page_table.allocate_invalidatable(buf_base, total * stride)
             else:
                 buf_base = alloc.take(config.ring_size * stride)
+                buf_bytes = config.ring_size * stride
                 self.page_table.allocate_invalidatable(
                     buf_base, config.ring_size * stride
                 )
@@ -348,6 +413,10 @@ class SimulatedServer:
                     self.page_table.map_range(copy_base, n_copies * stride)
                     copy_pool = [copy_base + k * stride for k in range(n_copies)]
 
+            if config.tenants is not None:
+                self.tenant_ranges.append(
+                    (buf_base, buf_base + buf_bytes, core_tenant)
+                )
             queue = port.add_queue(i, i, desc_base, buf_base)
             app = APP_FACTORIES[config.app_for_core(i)](config.cost_model)
             if app.transmits:
@@ -356,8 +425,18 @@ class SimulatedServer:
                     tx_desc_base, config.ring_size * DESCRIPTOR_BYTES
                 )
                 port.add_tx_queue(i, tx_desc_base)
-            flow = make_flow(i)
-            port.flow_director.install_rule(flow, i)
+            if config.tenants is not None:
+                tconf = config.tenants.tenants[core_tenant]
+                base_slot = tenant_slots.get(core_tenant, 0)
+                flows = [
+                    make_tenant_flow(core_tenant, base_slot + k)
+                    for k in range(tconf.flows_per_core)
+                ]
+                tenant_slots[core_tenant] = base_slot + tconf.flows_per_core
+            else:
+                flows = [make_flow(i)]
+            for flow in flows:
+                port.flow_director.install_rule(flow, i)
             maintenance = MaintenanceUnit(
                 i, self.hierarchy, page_table=self.page_table, scope="all"
             )
@@ -388,9 +467,16 @@ class SimulatedServer:
                 driver.faults = self.fault_injectors.cpu
             self.apps.append(app)
             self.drivers.append(driver)
-            self.generators.append(
-                TrafficGenerator(self.sim, flow, port.receive, app.app_class)
-            )
+            for flow in flows:
+                self.generators.append(
+                    TrafficGenerator(self.sim, flow, port.receive, app.app_class)
+                )
+                self._generator_tenants.append(core_tenant)
+
+        if self.tenant_ranges:
+            self.hierarchy.set_tenant_ranges(self.tenant_ranges)
+        if self.sanitizer is not None and config.tenants is not None:
+            self.sanitizer.register_tenants(config.tenants)
 
         # -- antagonist -----------------------------------------------------
         self.antagonist: Optional[LLCAntagonist] = None
@@ -404,6 +490,30 @@ class SimulatedServer:
             self.antagonist_driver = AntagonistDriver(
                 self.sim, self.cores[core_id], self.antagonist
             )
+
+        # -- per-tenant antagonists ----------------------------------------
+        #: ``(tenant_id, driver)`` pairs, one per ``antagonist=True`` tenant.
+        self.tenant_antagonists: List[Tuple[int, AntagonistDriver]] = []
+        if config.tenants is not None and config.tenants.num_antagonists:
+            core_id = config.num_nf_cores + (1 if config.antagonist else 0)
+            for tenant in config.tenants:
+                if not tenant.antagonist:
+                    continue
+                buf = alloc.take(tenant.antagonist_footprint_bytes)
+                self.page_table.map_range(buf, tenant.antagonist_footprint_bytes)
+                # Seeded from the tenant's own RNG stream (SIM016): the
+                # access pattern never depends on other tenants.
+                seed = tenant_rng(config.tenants.seed, tenant.tenant_id).getrandbits(32)
+                thrasher = LLCAntagonist(
+                    buf, tenant.antagonist_footprint_bytes, seed=seed
+                )
+                self.tenant_antagonists.append(
+                    (
+                        tenant.tenant_id,
+                        AntagonistDriver(self.sim, self.cores[core_id], thrasher),
+                    )
+                )
+                core_id += 1
 
         self._started = False
 
@@ -422,6 +532,8 @@ class SimulatedServer:
         self._started = True
         if self.antagonist_driver is not None:
             self.antagonist_driver.warmup()
+        for _tenant, t_driver in self.tenant_antagonists:
+            t_driver.warmup()
         for driver in self.drivers:
             driver.init_ring()
         if self.config.reset_stats_after_warmup:
@@ -435,6 +547,8 @@ class SimulatedServer:
             driver.start()
         if self.antagonist_driver is not None:
             self.antagonist_driver.start()
+        for _tenant, t_driver in self.tenant_antagonists:
+            t_driver.start()
 
     def inject_bursty(
         self,
@@ -561,6 +675,64 @@ class SimulatedServer:
             )
         return total
 
+    def inject_tenants(self, duration: int, start: int = 0) -> int:
+        """Schedule each tenant's traffic on its tagged flows.
+
+        Every flow follows its owner's traffic profile; stochastic
+        profiles draw their seeds from the owner's :func:`tenant_rng`
+        stream in flow order, so tenant ``k``'s arrivals are invariant
+        to every other tenant's configuration (SIM016's contract).
+        """
+        tenants = self.config.tenants
+        if tenants is None:
+            raise RuntimeError("inject_tenants requires ServerConfig.tenants")
+        rngs = {t.tenant_id: tenant_rng(tenants.seed, t.tenant_id) for t in tenants}
+        packet_bytes = self.config.packet_bytes
+        total = 0
+        for tenant_id, gen in zip(self._generator_tenants, self.generators):
+            tenant = tenants.tenants[tenant_id]
+            rng = rngs[tenant_id]
+            if tenant.traffic == "steady":
+                total += gen.schedule_steady(
+                    SteadyProfile(
+                        rate_gbps=tenant.rate_gbps,
+                        duration=duration,
+                        packet_bytes=packet_bytes,
+                        start=start,
+                    )
+                )
+            elif tenant.traffic == "bursty":
+                total += gen.schedule_bursts(
+                    BurstProfile(
+                        burst_rate_gbps=tenant.rate_gbps,
+                        packets_per_burst=tenant.packets_per_burst,
+                        burst_period=units.microseconds(tenant.burst_period_us),
+                        num_bursts=tenant.num_bursts,
+                        packet_bytes=packet_bytes,
+                        start=start,
+                    )
+                )
+            elif tenant.traffic == "heavy-tail":
+                total += gen.schedule_heavy_tail(
+                    HeavyTailProfile(
+                        rate_gbps=tenant.rate_gbps,
+                        duration=duration,
+                        alpha=tenant.heavy_tail_alpha,
+                        packet_bytes=packet_bytes,
+                        start=start,
+                        seed=rng.getrandbits(32),
+                    )
+                )
+            else:  # poisson (TENANT_TRAFFIC_KINDS is validated)
+                total += gen.schedule_poisson(
+                    tenant.rate_gbps,
+                    duration,
+                    packet_bytes=packet_bytes,
+                    start=start,
+                    seed=rng.getrandbits(32),
+                )
+        return total
+
     def run(self, until: int) -> int:
         """Advance the simulation to ``until`` (absolute ticks)."""
         return self.sim.run(until=until)
@@ -617,6 +789,10 @@ class SimulatedServer:
             self.controller.stop()
         if self.iat_controller is not None:
             self.iat_controller.stop()
+        if self.ioca_controller is not None:
+            self.ioca_controller.stop()
+        for _tenant, t_driver in self.tenant_antagonists:
+            t_driver.stop()
         for nic in self.nics:
             nic.stop()
 
@@ -636,3 +812,52 @@ class SimulatedServer:
             for p in self.completed_packets()
             if p.latency is not None
         ]
+
+    def tenant_stats(self) -> Dict[int, Dict[str, float]]:
+        """Per-tenant attribution: completion, tail latency, LLC footprint.
+
+        Keys per tenant: ``completed`` (packets), ``p50_us``/``p95_us``/
+        ``p99_us`` (0.0 when the tenant completed nothing — the sentinel
+        is documented in ``ExperimentSummary.tenant_stats``),
+        ``dma_writes`` (attributed inbound DMA), ``io_lines`` (I/O-origin
+        LLC lines resident in the tenant's ranges at end of run), and
+        ``io_ways`` (ways in the tenant's partition; 0 when unpartitioned).
+        """
+        tenants = self.config.tenants
+        if tenants is None:
+            return {}
+        from .metrics import percentile
+
+        llc = self.hierarchy.llc
+        counter_values = self.hierarchy._counter_values
+        way_table = llc.tenant_way_table()
+        io_lines: Dict[int, int] = {}
+        for line in llc.data.lines():
+            if line.origin == "io":
+                owner = self.hierarchy.tenant_of_addr(line.addr)
+                if owner >= 0:
+                    io_lines[owner] = io_lines.get(owner, 0) + 1
+        stats: Dict[int, Dict[str, float]] = {}
+        for tenant in tenants:
+            latencies_us = []
+            completed = 0
+            for core in tenants.tenant_cores(tenant.tenant_id):
+                packets = self.drivers[core].completed_packets
+                completed += len(packets)
+                for p in packets:
+                    if p.latency is not None:
+                        latencies_us.append(units.to_nanoseconds(p.latency) / 1000.0)
+            entry = {
+                "completed": float(completed),
+                "dma_writes": float(
+                    counter_values.get(f"tenant_dma_writes_t{tenant.tenant_id}", 0)
+                ),
+                "io_lines": float(io_lines.get(tenant.tenant_id, 0)),
+                "io_ways": float(len(way_table.get(tenant.tenant_id, []))),
+            }
+            for p in (50, 95, 99):
+                entry[f"p{p}_us"] = (
+                    percentile(latencies_us, p) if latencies_us else 0.0
+                )
+            stats[tenant.tenant_id] = entry
+        return stats

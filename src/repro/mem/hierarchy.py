@@ -11,12 +11,11 @@ single typed entry point:
   and fill in its outcome: total latency, serving level, and — when hop
   recording is enabled — a per-component hop list.
 
-The legacy convenience methods (:meth:`cpu_access`, :meth:`pcie_write`,
-:meth:`pcie_read`, :meth:`prefetch_fill`, :meth:`invalidate`) remain as
-thin constructors that build a transaction and run it through
-:meth:`access`; all traffic flows through the same path.  They are
-deprecated: new code should construct the :class:`MemoryTransaction`
-itself (simlint's SIM005 flags wrapper calls outside ``repro.mem``).
+All traffic flows through that one path: callers construct the
+:class:`MemoryTransaction` themselves (simlint's SIM005 flags any
+reintroduction of per-kind wrapper methods outside ``repro.mem``; the
+deprecated ``cpu_access``/``pcie_write``-style wrappers were removed in
+v0.5.0 — tests use the free-function helpers in ``tests/memtxn.py``).
 
 Observability is a typed pub/sub bus (:class:`repro.obs.bus.EventBus`):
 the hierarchy publishes :class:`~repro.obs.events.MlcWritebackEvent` /
@@ -29,12 +28,11 @@ subscriber like everyone else.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs.bus import EventBus
-from ..obs.events import LlcWritebackEvent, MlcWritebackEvent
+from ..obs.events import LlcWritebackEvent, MlcWritebackEvent, TenantDmaEvent
 from ..sim import units
 from .cache import CacheConfig
 from .dram import DRAM
@@ -171,6 +169,12 @@ class MemoryHierarchy:
         self._mlc_wb_subs = self.bus.live(MlcWritebackEvent)
         self._llc_wb_subs = self.bus.live(LlcWritebackEvent)
         self._txn_subs = self.bus.live(MemoryTransaction)
+        self._tenant_dma_subs = self.bus.live(TenantDmaEvent)
+        #: Per-tenant DMA attribution ranges ``(start, end, tenant)``.
+        #: Empty (the default) keeps the DMA-write hot path tenant-free:
+        #: one falsy check and no per-write work.
+        self._tenant_ranges: List[Tuple[int, int, int]] = []
+        self._tenant_dma_names: Dict[int, str] = {}
         #: When True, :meth:`access` fills each transaction's ``hops``
         #: list.  Off by default — flipped by an attached TraceRecorder.
         self.record_hops = False
@@ -293,6 +297,48 @@ class MemoryHierarchy:
             event = LlcWritebackEvent(addr, now)
             for fn in subs:
                 fn(event)
+
+    # ------------------------------------------------------------------
+    # tenant attribution
+    # ------------------------------------------------------------------
+
+    def set_tenant_ranges(self, ranges: Sequence[Tuple[int, int, int]]) -> None:
+        """Register per-tenant DMA attribution ranges.
+
+        ``ranges`` is ``(start, end, tenant)`` triples (half-open byte
+        ranges) covering each tenant's descriptor/buffer regions.  Every
+        inbound DMA write landing in a range is attributed to its tenant:
+        the ``tenant_dma_writes_t<id>`` counter is bumped, a
+        :class:`~repro.obs.events.TenantDmaEvent` is published when
+        anyone subscribes, and the write-allocate is confined to the
+        tenant's I/O ways when a partition is installed.  Ranges must be
+        non-empty, disjoint, and tenant ids non-negative.
+        """
+        cleaned: List[Tuple[int, int, int]] = []
+        for start, end, tenant in ranges:
+            if start < 0 or end <= start:
+                raise ValueError(f"bad tenant range [{start:#x}, {end:#x})")
+            if tenant < 0:
+                raise ValueError(f"tenant must be non-negative, got {tenant}")
+            cleaned.append((start, end, tenant))
+        cleaned.sort()
+        for (s0, e0, t0), (s1, e1, t1) in zip(cleaned, cleaned[1:]):
+            if s1 < e0:
+                raise ValueError(
+                    f"tenant ranges overlap: [{s0:#x}, {e0:#x}) (tenant {t0}) "
+                    f"and [{s1:#x}, {e1:#x}) (tenant {t1})"
+                )
+        self._tenant_ranges = cleaned
+        self._tenant_dma_names = {
+            t: f"tenant_dma_writes_t{t}" for _, _, t in cleaned
+        }
+
+    def tenant_of_addr(self, addr: int) -> int:
+        """The tenant owning ``addr`` (-1 when unattributed)."""
+        for start, end, tenant in self._tenant_ranges:
+            if start <= addr < end:
+                return tenant
+        return -1
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -600,6 +646,21 @@ class MemoryHierarchy:
         self._event_streams["pcie_writes"].append(now)
         latency = self._llc_lat
 
+        # Tenant attribution: one falsy check when tenancy is off; with
+        # tenants the range list is tiny (one entry per tenant region).
+        tenant = -1
+        if self._tenant_ranges:
+            for start, end, t in self._tenant_ranges:
+                if start <= addr < end:
+                    tenant = t
+                    cv[self._tenant_dma_names[t]] += 1
+                    subs = self._tenant_dma_subs
+                    if subs:
+                        event = TenantDmaEvent(t, now)
+                        for fn in subs:
+                            fn(event)
+                    break
+
         # Invalidate any private (MLC/L1) copies — steps P1-1/P2-1 of Fig. 1.
         dir_entry = self._dir_entries.get(addr & _LINE_MASK)
         if dir_entry is not None:
@@ -648,7 +709,9 @@ class MemoryHierarchy:
             # Write-allocate into the DDIO ways (P1-2 / P5-1).
             if hops is not None:
                 hops.append(Hop("llc", "fill", latency))
-            victim = self.llc.fill_io(self._make_line(addr, True, "io", -1), now)
+            victim = self.llc.fill_io(
+                self._make_line(addr, True, "io", -1), now, tenant
+            )
             cv["ddio_allocations"] += 1
             if victim is not None:
                 self._llc_victim_to_dram(victim, now)
@@ -782,55 +845,6 @@ class MemoryHierarchy:
         elif scope != "private":
             raise ValueError(f"unknown invalidate scope {scope!r}")
         txn.level = "invalidated" if dropped is not None else "absent"
-
-    # ------------------------------------------------------------------
-    # legacy convenience entry points (thin wrappers over access())
-    # ------------------------------------------------------------------
-
-    def _warn_legacy(self, name: str, replacement: str) -> None:
-        warnings.warn(
-            f"MemoryHierarchy.{name}() is deprecated; construct a "
-            f"MemoryTransaction({replacement}, ...) and call access(txn) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def cpu_access(self, core: int, addr: int, is_write: bool, now: int) -> AccessResult:
-        """Deprecated. A demand load/store from ``core``; returns latency
-        and hit level."""
-        self._warn_legacy("cpu_access", "CPU_STORE/CPU_LOAD")
-        txn = MemoryTransaction(
-            CPU_STORE if is_write else CPU_LOAD, addr, now, core=core
-        )
-        self.access(txn)
-        return AccessResult(txn.latency, txn.level or "dram")
-
-    def pcie_write(self, addr: int, now: int, placement: str = "llc") -> int:
-        """Deprecated. A full-cacheline inbound DMA write; returns the latency."""
-        self._warn_legacy("pcie_write", "DMA_WRITE")
-        txn = MemoryTransaction(DMA_WRITE, addr, now, placement=placement)
-        self.access(txn)
-        return txn.latency
-
-    def pcie_read(self, addr: int, now: int) -> int:
-        """Deprecated. An outbound DMA read (NIC TX); returns the latency."""
-        self._warn_legacy("pcie_read", "DMA_READ")
-        txn = MemoryTransaction(DMA_READ, addr, now)
-        self.access(txn)
-        return txn.latency
-
-    def prefetch_fill(self, core: int, addr: int, now: int) -> bool:
-        """Deprecated. MLC prefetch; ``True`` when a fill actually happened."""
-        self._warn_legacy("prefetch_fill", "PREFETCH_FILL")
-        txn = MemoryTransaction(PREFETCH_FILL, addr, now, core=core)
-        self.access(txn)
-        return txn.level != "dropped"
-
-    def invalidate(self, core: int, addr: int, now: int, scope: str = "all") -> None:
-        """Deprecated. Invalidate-without-writeback of one line."""
-        self._warn_legacy("invalidate", "INVALIDATE")
-        self.access(MemoryTransaction(INVALIDATE, addr, now, core=core, scope=scope))
 
     # ------------------------------------------------------------------
     # introspection

@@ -164,6 +164,9 @@ class NonInclusiveLLC:
         )
         #: per-core CAT masks; default = all ways (set_way_mask overrides).
         self._core_masks: Dict[int, List[int]] = {}
+        #: per-tenant I/O way masks (IOCA-style partitioning); a tenant
+        #: absent from this map falls back to the shared DDIO partition.
+        self._tenant_io_masks: Dict[int, List[int]] = {}
 
     # -- configuration -------------------------------------------------
 
@@ -201,6 +204,35 @@ class NonInclusiveLLC:
 
     def core_way_mask(self, core: int) -> List[int]:
         return list(self._core_masks.get(core, self._all_mask))
+
+    def set_tenant_io_ways(self, tenant: int, ways: Sequence[int]) -> None:
+        """Restrict ``tenant``'s DMA write-allocates to ``ways``.
+
+        The IOCA-style partitioning knob: each tenant's inbound DMA fills
+        only its own slice of the DDIO partition, so one tenant's burst
+        cannot evict another's I/O lines.  Like :meth:`set_ddio_ways`,
+        masks gate only *future* allocations — resident lines stay put.
+        Ways must lie inside the DDIO partition.
+        """
+        if tenant < 0:
+            raise ValueError(f"tenant must be non-negative, got {tenant}")
+        ways = sorted(set(ways))
+        if not ways:
+            raise ValueError("tenant way mask must not be empty")
+        for w in ways:
+            if w < 0 or w >= self.ddio_ways:
+                raise ValueError(
+                    f"tenant way {w} outside the {self.ddio_ways}-way DDIO partition"
+                )
+        self._tenant_io_masks[tenant] = list(ways)
+
+    def tenant_io_ways(self, tenant: int) -> List[int]:
+        """The I/O way mask in force for ``tenant`` (shared mask if unset)."""
+        return list(self._tenant_io_masks.get(tenant, self._io_mask))
+
+    def tenant_way_table(self) -> Dict[int, List[int]]:
+        """A copy of the per-tenant I/O way masks (sanitizer/summary hook)."""
+        return {t: list(ways) for t, ways in self._tenant_io_masks.items()}
 
     # -- NUCA slice model -----------------------------------------------
 
@@ -260,10 +292,21 @@ class NonInclusiveLLC:
 
     # -- fills ----------------------------------------------------------
 
-    def fill_io(self, line: CacheLine, now: int) -> Optional[CacheLine]:
-        """DDIO write-allocate into the DDIO ways; returns the victim."""
+    def fill_io(
+        self, line: CacheLine, now: int, tenant: int = -1
+    ) -> Optional[CacheLine]:
+        """DDIO write-allocate into the DDIO ways; returns the victim.
+
+        When ``tenant`` has a partition installed via
+        :meth:`set_tenant_io_ways`, the fill is confined to that
+        tenant's ways; otherwise it may use the whole DDIO partition.
+        """
         line.origin = "io"
-        victim = self.data.insert(line, way_mask=self._io_mask)
+        if tenant >= 0 and self._tenant_io_masks:
+            mask = self._tenant_io_masks.get(tenant, self._io_mask)
+        else:
+            mask = self._io_mask
+        victim = self.data.insert(line, way_mask=mask)
         if victim is not None:
             self._counter_values["llc_evictions"] += 1
         return victim

@@ -66,6 +66,34 @@ def make_flows(count: int) -> List[FiveTuple]:
     return [make_flow(i) for i in range(count)]
 
 
+def make_tenant_flow(tenant: int, slot: int) -> FiveTuple:
+    """A deterministic flow tagged with a tenant id.
+
+    Tenant tagging reuses the lane/slot encoding of :func:`make_flow`:
+    the *lane* is the tenant id and the *slot* indexes the tenant's flow
+    population, so a tenant-tagged flow is indistinguishable from any
+    other ``make_flow`` product on the wire but carries its owner in the
+    IP's upper bits.  :func:`flow_tenant` recovers the tag.
+    """
+    if tenant < 0:
+        raise ValueError(f"tenant id must be non-negative, got {tenant}")
+    if slot < 0 or slot >= FLOW_LANE_SPAN:
+        raise ValueError(
+            f"tenant flow slot must be in [0, {FLOW_LANE_SPAN}), got {slot}"
+        )
+    return make_flow(tenant * FLOW_LANE_SPAN + slot)
+
+
+def flow_tenant(flow: FiveTuple) -> int:
+    """The tenant id (lane) encoded in a :func:`make_tenant_flow` flow.
+
+    Only meaningful for flows produced by the ``make_flow`` family: the
+    lane bits of ``src_ip`` *are* the tenant id under tenant tagging.
+    Untenanted single-server flows all decode to tenant 0.
+    """
+    return (flow.src_ip - 0x0A00_0001) >> 16
+
+
 def flow_key(flow: FiveTuple) -> int:
     """The 5-tuple packed into one integer (a stable steering key)."""
     return (

@@ -59,6 +59,35 @@ class ServerLaneSeries:
 
 
 @dataclass(frozen=True, slots=True)
+class TenantDmaEvent:
+    """An inbound DMA write attributed to a tenant's buffer range.
+
+    Published by the memory hierarchy (only when someone subscribes —
+    the hot path stays allocation-free otherwise) so a partitioning
+    controller such as :class:`~repro.core.ioca.IOCAController` can
+    sample per-tenant I/O rates without touching the data plane.
+    """
+
+    tenant: int
+    now: int
+
+
+@dataclass(frozen=True, slots=True)
+class TenantLaneSeries:
+    """One tenant's timeline for one event stream, published sweep-level.
+
+    The tenant-tier analogue of :class:`ServerLaneSeries`: each finished
+    tenants-sweep cell contributes binned ``(time_us, value)`` samples
+    per tenant so recorders can render per-tenant lanes.
+    """
+
+    tenant: int
+    stream: str
+    #: ``((time_us, value), ...)`` — binned samples.
+    points: tuple
+
+
+@dataclass(frozen=True, slots=True)
 class ServerCompletedEvent:
     """A rack server's experiment finished (one per server per sweep)."""
 

@@ -37,6 +37,7 @@ from .events import (
     PmdBatchEvent,
     ServerCompletedEvent,
     ServerLaneSeries,
+    TenantLaneSeries,
 )
 
 #: Stable Chrome-trace thread ids, one lane per component.
@@ -395,6 +396,106 @@ class RackTraceRecorder:
             f"{len(self.servers_seen)} server lanes, "
             f"{len(self.trace_events)} samples, "
             f"{self.completions} completions"
+        )
+
+
+class TenantTraceRecorder:
+    """Per-tenant degradation curves from an isolation sweep.
+
+    Subscribes to a sweep-level bus for :class:`TenantLaneSeries` (as
+    published by ``repro.tenants.sweep.run_tenants``).  Each tenant
+    becomes its own trace process with one counter lane per
+    ``policy:percentile`` stream; the x axis is aggressor intensity
+    scaled to integer microticks (Chrome traces want monotonic numeric
+    timestamps), the counter value the percentile in microseconds.
+    """
+
+    #: Intensity is a small float (0.25, 1.0, ...); scale it into the
+    #: integer timestamp domain the trace format expects.
+    _INTENSITY_SCALE = 1000.0
+
+    def __init__(self) -> None:
+        self.trace_events: List[Dict[str, Any]] = []
+        self.tenants_seen: Dict[int, int] = {}  # tenant -> series count
+        self._stream_tids: Dict[str, int] = {}
+        self._bus = None
+
+    def attach(self, bus) -> "TenantTraceRecorder":
+        if self._bus is not None:
+            raise RuntimeError("recorder is already attached")
+        bus.subscribe(TenantLaneSeries, self.on_tenant_series)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is None:
+            return
+        self._bus.unsubscribe(TenantLaneSeries, self.on_tenant_series)
+        self._bus = None
+
+    def _tid(self, stream: str) -> int:
+        if stream not in self._stream_tids:
+            self._stream_tids[stream] = len(self._stream_tids) + 1
+        return self._stream_tids[stream]
+
+    def on_tenant_series(self, event: TenantLaneSeries) -> None:
+        self.tenants_seen[event.tenant] = (
+            self.tenants_seen.get(event.tenant, 0) + 1
+        )
+        tid = self._tid(event.stream)
+        for intensity, value_us in event.points:
+            self.trace_events.append(
+                {
+                    "name": event.stream,
+                    "ph": "C",
+                    "ts": intensity * self._INTENSITY_SCALE,
+                    "pid": event.tenant + 1,
+                    "tid": tid,
+                    "args": {"us": value_us},
+                }
+            )
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        metadata: List[Dict[str, Any]] = []
+        for tenant in sorted(self.tenants_seen):
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": tenant + 1,
+                    "args": {"name": f"tenant-{tenant}"},
+                }
+            )
+            for stream, tid in sorted(
+                self._stream_tids.items(), key=lambda kv: kv[1]
+            ):
+                metadata.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": tenant + 1,
+                        "tid": tid,
+                        "args": {"name": stream},
+                    }
+                )
+        return {
+            "traceEvents": metadata + self.trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {"tenants": len(self.tenants_seen)},
+        }
+
+    def export(self, path: str) -> int:
+        """Write the Chrome-trace JSON to ``path``; returns event count."""
+        trace = self.to_chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+            fh.write("\n")
+        return len(trace["traceEvents"])
+
+    def summary_line(self) -> str:
+        return (
+            f"{len(self.tenants_seen)} tenant lanes, "
+            f"{len(self.trace_events)} samples"
         )
 
 

@@ -1,0 +1,38 @@
+"""Tenant tier: multi-tenant configs, scenarios, and isolation sweeps.
+
+IDIO evaluates inbound-data placement with one implicit tenant; IOCA
+(PAPERS.md) shows the LLC/DDIO contention problem is fundamentally
+multi-tenant.  This package makes tenants first-class:
+
+* :mod:`repro.tenants.config` — frozen :class:`TenantConfig` /
+  :class:`TenantSet` attached to ``ServerConfig``, plus the per-tenant
+  seeded RNG stream :func:`tenant_rng` (SIM016 requires all tenant code
+  draw randomness from it);
+* :mod:`repro.tenants.scenarios` — named tenant mixes (noisy neighbor,
+  balanced, antagonist) scaled by an intensity knob;
+* :mod:`repro.tenants.sweep` — ``run_tenants``: the policy × intensity
+  isolation matrix behind ``repro tenants``.
+
+This module deliberately re-exports only the config layer: the sweep
+imports the harness (which imports this package for the ``ServerConfig``
+field type), so ``run_tenants`` must be imported from
+``repro.tenants.sweep`` to keep the import graph acyclic.
+"""
+
+from .config import (
+    PRIORITY_CLASSES,
+    TENANT_ROLES,
+    TENANT_TRAFFIC_KINDS,
+    TenantConfig,
+    TenantSet,
+    tenant_rng,
+)
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "TENANT_ROLES",
+    "TENANT_TRAFFIC_KINDS",
+    "TenantConfig",
+    "TenantSet",
+    "tenant_rng",
+]

@@ -1,0 +1,19 @@
+# simlint-fixture-module: repro.tenants.fake
+"""SIM016 fixture: shared / module-level RNG in tenant code (5 violations)."""
+import random
+from random import Random, randint
+
+_SHARED = random.Random(77)  # module-level: one stream for every tenant
+_ALSO_SHARED = Random(42)  # same, via the imported class
+
+
+def pick_tenant(num_tenants):
+    return random.randrange(num_tenants)  # module-global stream
+
+
+def burst_jitter(limit):
+    return randint(0, limit)  # module-global stream
+
+
+def make_stream():
+    return random.Random()  # unseeded

@@ -1,0 +1,15 @@
+# simlint-fixture-module: repro.tenants.fake_clean
+"""SIM016 clean control: per-tenant seeded streams built inside functions."""
+import random
+
+
+def _mix(seed, tenant):
+    return (seed * 0x9E3779B97F4A7C15 + tenant + 1) & 0xFFFF_FFFF_FFFF_FFFF
+
+
+def tenant_stream(seed, tenant):
+    return random.Random(_mix(seed, tenant))
+
+
+def traffic_seed(seed, tenant):
+    return tenant_stream(seed, tenant).getrandbits(32)

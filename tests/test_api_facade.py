@@ -1,18 +1,16 @@
-"""Tests for the stable facade (``repro.api``) and the wrapper deprecations.
+"""Tests for the stable facade (``repro.api``) and the wrapper removal.
 
 The contract under test: everything a downstream user needs lives behind
 ``import repro`` (round-trip an experiment without one deep import), the
 top-level namespace re-exports exactly the facade, and the legacy
-``MemoryHierarchy`` convenience wrappers warn on every call while still
-behaving identically to ``access(txn)``.
+``MemoryHierarchy`` convenience wrappers — deprecated through the 0.4
+line — are gone in 0.5.0 in favor of the one typed entry point,
+``access(txn)`` (see ``tests/memtxn.py`` for the migration).
 """
-
-import warnings
-
-import pytest
 
 import repro
 import repro.api
+from tests.memtxn import pcie_write
 
 
 class TestFacadeSurface:
@@ -62,7 +60,7 @@ class TestFacadeSurface:
         assert sweep.exit_code == 0
 
 
-class TestLegacyWrapperDeprecation:
+class TestLegacyWrapperRemoval:
     def _hierarchy(self):
         from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 
@@ -70,28 +68,20 @@ class TestLegacyWrapperDeprecation:
 
     ADDR = 0x4000
 
-    def test_all_five_wrappers_warn(self):
+    def test_wrappers_are_gone(self):
+        """The 0.4-deprecated wrappers did not survive into 0.5.0."""
         h = self._hierarchy()
-        calls = [
-            ("pcie_write", (self.ADDR, 0)),
-            ("pcie_read", (self.ADDR, 0)),
-            ("cpu_access", (0, self.ADDR, False, 0)),
-            ("prefetch_fill", (0, self.ADDR, 0)),
-            ("invalidate", (0, self.ADDR, 0)),
-        ]
-        for name, args in calls:
-            with pytest.warns(DeprecationWarning, match=rf"MemoryHierarchy\.{name}"):
-                getattr(h, name)(*args)
+        for name in (
+            "cpu_access",
+            "pcie_write",
+            "pcie_read",
+            "prefetch_fill",
+            "invalidate",
+        ):
+            assert not hasattr(h, name), f"legacy wrapper {name} still present"
 
-    def test_warning_names_the_replacement(self):
+    def test_typed_replacement_behaves_like_the_wrapper_did(self):
+        """Removed != lost: the one-line migration keeps the semantics."""
         h = self._hierarchy()
-        with pytest.warns(DeprecationWarning, match="access\\(txn\\)"):
-            h.pcie_write(self.ADDR, 0)
-
-    def test_wrapper_still_behaves_like_access(self):
-        """Deprecated != broken: the wrapper must keep its semantics."""
-        h = self._hierarchy()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            h.pcie_write(self.ADDR, 0)
+        pcie_write(h, self.ADDR, 0)
         assert h.llc.peek(self.ADDR) is not None

@@ -5,6 +5,7 @@ import pytest
 from repro.core.prefetcher import MLCPrefetcher
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.sim import Simulator, units
+from tests.memtxn import cpu_access, pcie_write
 
 
 def make_prefetcher(queue_depth=32, service_time=units.nanoseconds(4)):
@@ -17,7 +18,7 @@ def make_prefetcher(queue_depth=32, service_time=units.nanoseconds(4)):
 class TestQueue:
     def test_hint_enqueues_and_drains(self):
         sim, h, pf = make_prefetcher()
-        h.pcie_write(0x1000, 0)
+        pcie_write(h, 0x1000, 0)
         assert pf.hint(0x1000)
         sim.run()
         assert 0x1000 in h.mlc[0]
@@ -41,7 +42,7 @@ class TestQueue:
     def test_service_rate_paces_drains(self):
         sim, h, pf = make_prefetcher(service_time=units.nanoseconds(100))
         for i in range(3):
-            h.pcie_write(0x1000 + i * 64, 0)
+            pcie_write(h, 0x1000 + i * 64, 0)
             pf.hint(0x1000 + i * 64)
         sim.run(until=units.nanoseconds(150))
         assert pf.prefetches_issued == 1  # only one service interval elapsed
@@ -50,7 +51,7 @@ class TestQueue:
 
     def test_useless_prefetch_counted(self):
         sim, h, pf = make_prefetcher()
-        h.cpu_access(0, 0x1000, False, 0)  # already in MLC
+        cpu_access(h, 0, 0x1000, False, 0)  # already in MLC
         pf.hint(0x1000)
         sim.run()
         assert pf.prefetches_issued == 1
@@ -62,10 +63,10 @@ class TestQueue:
 
     def test_drain_restarts_after_idle(self):
         sim, h, pf = make_prefetcher()
-        h.pcie_write(0x1000, 0)
+        pcie_write(h, 0x1000, 0)
         pf.hint(0x1000)
         sim.run()
-        h.pcie_write(0x2000, 0)
+        pcie_write(h, 0x2000, 0)
         pf.hint(0x2000)
         sim.run()
         assert pf.prefetches_issued == 2

@@ -10,6 +10,7 @@ from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.nic.descriptor import DescriptorRing
 from repro.net.packet import Packet
 from repro.sim import Simulator, units
+from tests.memtxn import pcie_write
 
 
 def make_setup(max_ahead=4, ring_size=16):
@@ -28,7 +29,7 @@ def dma_packet(h, ring, size=256):
     packet = Packet(size_bytes=size)
     desc = ring.claim(packet)
     for i in range(packet.num_lines):
-        h.pcie_write(desc.buffer_addr + i * 64, 0)
+        pcie_write(h, desc.buffer_addr + i * 64, 0)
     ring.complete(desc)
     return desc
 
@@ -77,7 +78,7 @@ class TestPump:
 
     def test_out_of_region_hint_uses_plain_queue(self):
         sim, h, pf, ring = make_setup()
-        h.pcie_write(0x9000, 0)  # a descriptor line, outside the buffers
+        pcie_write(h, 0x9000, 0)  # a descriptor line, outside the buffers
         pf.hint(0x9000)
         sim.run(until=units.microseconds(1))
         assert 0x9000 in h.mlc[0]

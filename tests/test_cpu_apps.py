@@ -13,6 +13,7 @@ from repro.cpu.core import Core
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.net.packet import Packet
 from repro.sim import Simulator, units
+from tests.memtxn import pcie_write
 
 BUF = 0x100000
 
@@ -27,7 +28,7 @@ def dma_packet(h, size=1514, app_class=0):
     p = Packet(size_bytes=size, app_class=app_class)
     p.buffer_addr = BUF
     for i in range(p.num_lines):
-        h.pcie_write(BUF + i * 64, 0)
+        pcie_write(h, BUF + i * 64, 0)
     return p
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.cpu.maintenance import MaintenanceUnit
 from repro.cpu.pagetable import InvalidatePermissionError, PageTable
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from tests.memtxn import cpu_access, pcie_write
 
 BUF = 0x40000  # page- and line-aligned
 
@@ -22,7 +23,7 @@ class TestInvalidateRange:
     def test_invalidates_every_line(self):
         h, unit = make_unit()
         for i in range(24):
-            h.cpu_access(0, BUF + i * 64, True, 0)
+            cpu_access(h, 0, BUF + i * 64, True, 0)
         unit.invalidate_range(BUF, 1514, 0)
         assert unit.invalidated_lines == 24
         for i in range(24):
@@ -31,7 +32,7 @@ class TestInvalidateRange:
     def test_no_writeback_happens(self):
         h, unit = make_unit()
         for i in range(4):
-            h.cpu_access(0, BUF + i * 64, True, 0)  # dirty lines
+            cpu_access(h, 0, BUF + i * 64, True, 0)  # dirty lines
         unit.invalidate_range(BUF, 256, 0)
         assert h.dram.writes == 0
         assert h.stats.counters.get("mlc_writebacks") == 0
@@ -49,7 +50,7 @@ class TestInvalidateRange:
 
     def test_private_scope_leaves_llc(self):
         h, unit = make_unit(scope="private")
-        h.pcie_write(BUF, 0)
+        pcie_write(h, BUF, 0)
         unit.invalidate_range(BUF, 64, 0)
         assert BUF in h.llc
 
@@ -57,14 +58,14 @@ class TestInvalidateRange:
 class TestFlushRange:
     def test_dirty_data_written_to_dram(self):
         h, unit = make_unit()
-        h.cpu_access(0, BUF, True, 0)  # dirty in MLC
+        cpu_access(h, 0, BUF, True, 0)  # dirty in MLC
         unit.flush_range(BUF, 64, 0)
         assert h.dram.writes == 1
         assert BUF not in h.mlc[0]
 
     def test_clean_data_not_written(self):
         h, unit = make_unit()
-        h.cpu_access(0, BUF, False, 0)
+        cpu_access(h, 0, BUF, False, 0)
         h.dram.stats.reset()
         unit.flush_range(BUF, 64, 0)
         assert h.dram.writes == 0

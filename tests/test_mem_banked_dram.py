@@ -7,6 +7,7 @@ from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.mem.line import LINE_SIZE
 from repro.mem.stats import StatsBundle
 from repro.sim import units
+from tests.memtxn import cpu_access
 
 
 def make_dram(**kwargs):
@@ -86,7 +87,7 @@ class TestHierarchyIntegration:
             HierarchyConfig(num_cores=1, l1_enabled=False, dram_model="banked")
         )
         assert isinstance(h.dram, BankedDRAM)
-        h.cpu_access(0, 0x100000, False, 0)
+        cpu_access(h, 0, 0x100000, False, 0)
         assert h.dram.reads == 1
 
     def test_unknown_model_rejected(self):

@@ -12,6 +12,7 @@ from repro.mem.cache import CacheConfig
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.mem.line import LINE_SIZE
 from repro.obs.events import MlcWritebackEvent
+from tests.memtxn import cpu_access, invalidate, pcie_read, pcie_write, prefetch_fill
 
 
 def make_hierarchy(num_cores=2, l1=False, llc_bytes=None, ddio_ways=2, inclusive=False,
@@ -36,7 +37,7 @@ class TestPcieWriteIngress:
 
     def test_uncached_write_allocates_in_ddio_ways(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
+        pcie_write(h, ADDR, 0)
         line = h.llc.peek(ADDR)
         assert line is not None and line.dirty and line.origin == "io"
         _, way = h.llc.data._where[ADDR]
@@ -47,7 +48,7 @@ class TestPcieWriteIngress:
         # Put the line in a non-DDIO way via the CPU victim path.
         h.llc.fill_cpu(__import__("repro.mem.line", fromlist=["CacheLine"]).CacheLine(ADDR), 0)
         _, way_before = h.llc.data._where[ADDR]
-        h.pcie_write(ADDR, 0)
+        pcie_write(h, ADDR, 0)
         _, way_after = h.llc.data._where[ADDR]
         assert way_before == way_after  # P3-1: in-place update
         assert h.llc.peek(ADDR).dirty
@@ -55,38 +56,38 @@ class TestPcieWriteIngress:
     def test_mlc_resident_line_invalidated(self):
         h = make_hierarchy()
         # Demand-read pulls the line into core 0's MLC.
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, False, 0)
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, False, 0)
         assert ADDR in h.mlc[0]
-        h.pcie_write(ADDR, 10)
+        pcie_write(h, ADDR, 10)
         assert ADDR not in h.mlc[0]  # P1-1: MLC copy invalidated
         assert h.stats.counters.get("mlc_invalidations") == 1
         assert ADDR in h.llc  # reallocated in DDIO ways
 
     def test_direct_dram_placement(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0, placement="dram")
+        pcie_write(h, ADDR, 0, placement="dram")
         assert ADDR not in h.llc
         assert h.dram.writes == 1
         assert h.stats.counters.get("direct_dram_writes") == 1
 
     def test_direct_dram_drops_stale_llc_copy(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)  # in LLC
-        h.pcie_write(ADDR, 10, placement="dram")
+        pcie_write(h, ADDR, 0)  # in LLC
+        pcie_write(h, ADDR, 10, placement="dram")
         assert ADDR not in h.llc
 
     def test_direct_dram_invalidates_mlc_copy(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, False, 0)
-        h.pcie_write(ADDR, 10, placement="dram")
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, False, 0)
+        pcie_write(h, ADDR, 10, placement="dram")
         assert ADDR not in h.mlc[0]
 
     def test_unknown_placement_rejected(self):
         h = make_hierarchy()
         with pytest.raises(ValueError):
-            h.pcie_write(ADDR, 0, placement="l1")
+            pcie_write(h, ADDR, 0, placement="l1")
 
     def test_ddio_overflow_evicts_dirty_io_to_dram(self):
         # Small LLC: 4 ways x N sets, 2 DDIO ways. Overfill one set.
@@ -95,7 +96,7 @@ class TestPcieWriteIngress:
         target_set = 0
         addrs = [(t * sets + target_set) * LINE_SIZE for t in range(3)]
         for a in addrs:
-            h.pcie_write(a, 0)
+            pcie_write(h, a, 0)
         # Two DDIO ways -> third write evicted the first (dirty -> DRAM).
         assert h.dram.writes == 1
         assert h.stats.counters.get("llc_writebacks") == 1
@@ -106,22 +107,22 @@ class TestPcieReadEgress:
 
     def test_read_from_llc(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        h.pcie_read(ADDR, 10)
+        pcie_write(h, ADDR, 0)
+        pcie_read(h, ADDR, 10)
         assert h.dram.reads == 0
         assert h.stats.counters.get("pcie_reads") == 1
 
     def test_read_uncached_goes_to_dram(self):
         h = make_hierarchy()
-        h.pcie_read(ADDR, 0)
+        pcie_read(h, ADDR, 0)
         assert h.dram.reads == 1
 
     def test_read_pulls_mlc_copy_back_to_llc(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, False, 0)   # line now (dirty) in MLC
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, False, 0)   # line now (dirty) in MLC
         assert ADDR in h.mlc[0] and ADDR not in h.llc
-        h.pcie_read(ADDR, 10)
+        pcie_read(h, ADDR, 10)
         assert ADDR not in h.mlc[0]
         assert ADDR in h.llc  # invalidated from MLC, back in LLC
         assert h.stats.counters.get("mlc_writebacks") == 1
@@ -132,8 +133,8 @@ class TestDemandPath:
 
     def test_llc_hit_moves_line_to_mlc_noninclusive(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        result = h.cpu_access(0, ADDR, False, 0)
+        pcie_write(h, ADDR, 0)
+        result = cpu_access(h, 0, ADDR, False, 0)
         assert result.level == "llc"
         assert ADDR in h.mlc[0]
         assert ADDR not in h.llc           # data left the LLC
@@ -142,26 +143,26 @@ class TestDemandPath:
 
     def test_miss_everywhere_reads_dram(self):
         h = make_hierarchy()
-        result = h.cpu_access(0, ADDR, False, 0)
+        result = cpu_access(h, 0, ADDR, False, 0)
         assert result.level == "dram"
         assert h.dram.reads == 1
         assert ADDR in h.mlc[0]
 
     def test_mlc_hit(self):
         h = make_hierarchy()
-        h.cpu_access(0, ADDR, False, 0)
-        result = h.cpu_access(0, ADDR, False, 1)
+        cpu_access(h, 0, ADDR, False, 0)
+        result = cpu_access(h, 0, ADDR, False, 1)
         assert result.level == "mlc"
 
     def test_write_marks_dirty(self):
         h = make_hierarchy()
-        h.cpu_access(0, ADDR, True, 0)
+        cpu_access(h, 0, ADDR, True, 0)
         assert h.mlc[0].peek(ADDR).dirty
 
     def test_latency_ordering(self):
         h = make_hierarchy()
-        dram_lat = h.cpu_access(0, ADDR, False, 0).latency
-        mlc_lat = h.cpu_access(0, ADDR, False, 1).latency
+        dram_lat = cpu_access(h, 0, ADDR, False, 0).latency
+        mlc_lat = cpu_access(h, 0, ADDR, False, 1).latency
         assert dram_lat > mlc_lat
 
     def test_mlc_victim_fills_llc_any_dirtiness(self):
@@ -169,7 +170,7 @@ class TestDemandPath:
         h = make_hierarchy(num_cores=1)
         mlc_lines = h.mlc[0].capacity_lines
         for i in range(mlc_lines + 10):
-            h.cpu_access(0, i * LINE_SIZE, False, i)
+            cpu_access(h, 0, i * LINE_SIZE, False, i)
         assert h.stats.counters.get("mlc_writebacks") == 10
         # The victims were clean (read-only): counted as clean writebacks.
         assert h.stats.counters.get("mlc_writebacks_clean") == 10
@@ -180,14 +181,14 @@ class TestDemandPath:
         h.bus.subscribe(MlcWritebackEvent, lambda event: calls.append(event.core))
         mlc_lines = h.mlc[0].capacity_lines
         for i in range(mlc_lines + 1):
-            h.cpu_access(0, i * LINE_SIZE, False, i)
+            cpu_access(h, 0, i * LINE_SIZE, False, i)
         assert calls == [0]
 
     def test_dma_bloating_mlc_victim_lands_in_non_ddio_way(self):
         """Obs. 3: after an MLC writeback, I/O data occupies non-DDIO ways."""
         h = make_hierarchy(num_cores=1, llc_bytes=4 * 64 * LINE_SIZE)
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, False, 0)
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, False, 0)
         # Force the line out of the MLC by filling it with other lines
         # mapping to the same MLC set.
         mlc = h.mlc[0]
@@ -195,7 +196,7 @@ class TestDemandPath:
         base_tag = (ADDR // LINE_SIZE) // mlc.data.num_sets
         for t in range(1, mlc.data.assoc + 1):
             conflict = ((base_tag + t) * mlc.data.num_sets + set_idx) * LINE_SIZE
-            h.cpu_access(0, conflict, False, t)
+            cpu_access(h, 0, conflict, False, t)
         assert ADDR not in mlc
         assert ADDR in h.llc
         _, way = h.llc.data._where[ADDR]
@@ -205,10 +206,10 @@ class TestDemandPath:
 class TestInvalidate:
     def test_invalidate_drops_without_writeback(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, True, 0)  # dirty in MLC
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, True, 0)  # dirty in MLC
         dram_writes_before = h.dram.writes
-        h.invalidate(0, ADDR, 10)
+        invalidate(h, 0, ADDR, 10)
         assert ADDR not in h.mlc[0]
         assert ADDR not in h.llc
         assert ADDR not in h.llc.directory
@@ -217,68 +218,68 @@ class TestInvalidate:
 
     def test_invalidate_private_scope_keeps_llc_copy(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        h.invalidate(0, ADDR, 10, scope="private")
+        pcie_write(h, ADDR, 0)
+        invalidate(h, 0, ADDR, 10, scope="private")
         assert ADDR in h.llc  # only private copies are dropped
 
     def test_invalidate_unknown_scope(self):
         h = make_hierarchy()
         with pytest.raises(ValueError):
-            h.invalidate(0, ADDR, 0, scope="everything")
+            invalidate(h, 0, ADDR, 0, scope="everything")
 
     def test_invalidate_missing_line_is_noop(self):
         h = make_hierarchy()
-        h.invalidate(0, ADDR, 0)
+        invalidate(h, 0, ADDR, 0)
         assert h.stats.counters.get("self_invalidations") == 0
 
 
 class TestPrefetchFill:
     def test_prefetch_moves_llc_line_to_mlc(self):
         h = make_hierarchy()
-        h.pcie_write(ADDR, 0)
-        assert h.prefetch_fill(0, ADDR, 10)
+        pcie_write(h, ADDR, 0)
+        assert prefetch_fill(h, 0, ADDR, 10)
         assert ADDR in h.mlc[0]
         assert ADDR not in h.llc
         assert h.stats.counters.get("mlc_prefetch_fills") == 1
 
     def test_prefetch_noop_when_already_in_mlc(self):
         h = make_hierarchy()
-        h.cpu_access(0, ADDR, False, 0)
-        assert not h.prefetch_fill(0, ADDR, 10)
+        cpu_access(h, 0, ADDR, False, 0)
+        assert not prefetch_fill(h, 0, ADDR, 10)
 
     def test_prefetch_miss_reads_dram(self):
         h = make_hierarchy()
-        assert h.prefetch_fill(0, ADDR, 0)
+        assert prefetch_fill(h, 0, ADDR, 0)
         assert h.dram.reads == 1
 
 
 class TestL1:
     def test_l1_hit_after_first_access(self):
         h = make_hierarchy(l1=True)
-        h.cpu_access(0, ADDR, False, 0)
-        result = h.cpu_access(0, ADDR, False, 1)
+        cpu_access(h, 0, ADDR, False, 0)
+        result = cpu_access(h, 0, ADDR, False, 1)
         assert result.level == "l1"
 
     def test_pcie_write_invalidates_l1_copy(self):
         h = make_hierarchy(l1=True)
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, False, 0)
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, False, 0)
         assert ADDR in h.l1[0]
-        h.pcie_write(ADDR, 10)
+        pcie_write(h, ADDR, 10)
         assert ADDR not in h.l1[0]
 
     def test_l1_write_propagates_dirty_to_mlc(self):
         h = make_hierarchy(l1=True)
-        h.cpu_access(0, ADDR, False, 0)
-        h.cpu_access(0, ADDR, True, 1)  # L1 hit write
+        cpu_access(h, 0, ADDR, False, 0)
+        cpu_access(h, 0, ADDR, True, 1)  # L1 hit write
         assert h.mlc[0].peek(ADDR).dirty
 
 
 class TestInclusiveCounterfactual:
     def test_llc_keeps_copy_on_demand_hit(self):
         h = make_hierarchy(inclusive=True)
-        h.pcie_write(ADDR, 0)
-        h.cpu_access(0, ADDR, False, 0)
+        pcie_write(h, ADDR, 0)
+        cpu_access(h, 0, ADDR, False, 0)
         assert ADDR in h.mlc[0]
         assert ADDR in h.llc  # inclusive: copy stays
 
@@ -288,7 +289,7 @@ class TestInclusiveCounterfactual:
         target = 0
         addrs = [(t * sets + target) * LINE_SIZE for t in range(6)]
         for i, a in enumerate(addrs):
-            h.cpu_access(0, a, False, i)
+            cpu_access(h, 0, a, False, i)
         # The set only holds 4 lines; earlier ones were evicted and must
         # have been back-invalidated from the MLC.
         resident_in_mlc = [a for a in addrs if a in h.mlc[0]]
@@ -299,7 +300,7 @@ class TestInclusiveCounterfactual:
         h = make_hierarchy(num_cores=1, inclusive=True)
         mlc_lines = h.mlc[0].capacity_lines
         for i in range(mlc_lines + 5):
-            h.cpu_access(0, i * LINE_SIZE, False, i)
+            cpu_access(h, 0, i * LINE_SIZE, False, i)
         assert h.stats.counters.get("mlc_writebacks") == 0  # clean drops
 
 
@@ -308,7 +309,7 @@ class TestDirectoryCapacity:
         h = make_hierarchy(num_cores=1, directory_capacity=4)
         addrs = [i * LINE_SIZE for i in range(6)]
         for i, a in enumerate(addrs):
-            h.cpu_access(0, a, False, i)
+            cpu_access(h, 0, a, False, i)
         assert len(h.llc.directory) <= 4
         assert h.stats.counters.get("directory_back_invalidations") >= 2
 
@@ -326,17 +327,17 @@ class TestConservation:
         for op, slot in ops:
             addr = slot * LINE_SIZE
             if op == "pcie_write":
-                h.pcie_write(addr, 0)
+                pcie_write(h, addr, 0)
             elif op == "cpu_read":
-                h.cpu_access(slot % 2, addr, False, 0)
+                cpu_access(h, slot % 2, addr, False, 0)
             elif op == "cpu_write":
-                h.cpu_access(slot % 2, addr, True, 0)
+                cpu_access(h, slot % 2, addr, True, 0)
             elif op == "pcie_read":
-                h.pcie_read(addr, 0)
+                pcie_read(h, addr, 0)
             elif op == "invalidate":
-                h.invalidate(slot % 2, addr, 0)
+                invalidate(h, slot % 2, addr, 0)
             else:
-                h.prefetch_fill(slot % 2, addr, 0)
+                prefetch_fill(h, slot % 2, addr, 0)
         for slot in range(64):
             addr = slot * LINE_SIZE
             in_llc = addr in h.llc

@@ -21,6 +21,7 @@ from repro.mem import (
 )
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.mem.line import LINE_SIZE
+from tests.memtxn import cpu_access, invalidate, pcie_read, pcie_write
 
 
 def make_hierarchy(num_cores=2, record_hops=True):
@@ -95,7 +96,7 @@ class TestEgressDmaPath:
     def test_dirty_private_copy_written_back_first(self):
         """Fig. 3 right: the egress read forces the MLC copy out via LLC."""
         h = make_hierarchy()
-        h.cpu_access(0, ADDR, True, 0)  # dirty in core 0's MLC
+        cpu_access(h, 0, ADDR, True, 0)  # dirty in core 0's MLC
         txn = MemoryTransaction(DMA_READ, ADDR, 10)
         h.access(txn)
         assert hops_of(txn) == [
@@ -110,11 +111,11 @@ class TestEgressDmaPath:
     def test_wrapper_matches_transaction(self):
         a = make_hierarchy(record_hops=False)
         b = make_hierarchy(record_hops=False)
-        a.pcie_write(ADDR, 0)
-        b.pcie_write(ADDR, 0)
+        pcie_write(a, ADDR, 0)
+        pcie_write(b, ADDR, 0)
         txn = MemoryTransaction(DMA_READ, ADDR, 10)
         b.access(txn)
-        assert a.pcie_read(ADDR, 10) == txn.latency
+        assert pcie_read(a, ADDR, 10) == txn.latency
         assert a.stats.counters.snapshot() == b.stats.counters.snapshot()
 
 
@@ -124,7 +125,7 @@ class TestInvalidatePath:
     def test_drops_private_and_llc_copies(self):
         h = make_hierarchy()
         h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))
-        h.cpu_access(0, ADDR, True, 1)  # dirty private copy
+        cpu_access(h, 0, ADDR, True, 1)  # dirty private copy
         txn = MemoryTransaction(INVALIDATE, ADDR, 10, core=0)
         h.access(txn)
         assert txn.level == "invalidated"
@@ -146,7 +147,7 @@ class TestInvalidatePath:
     def test_private_scope_leaves_llc_copy(self):
         h = make_hierarchy()
         h.access(MemoryTransaction(DMA_WRITE, ADDR, 0))
-        h.cpu_access(0, ADDR, False, 1)
+        cpu_access(h, 0, ADDR, False, 1)
         txn = MemoryTransaction(INVALIDATE, ADDR, 10, core=0, scope="private")
         h.access(txn)
         assert txn.level == "invalidated"
@@ -161,9 +162,9 @@ class TestInvalidatePath:
         a = make_hierarchy(record_hops=False)
         b = make_hierarchy(record_hops=False)
         for h in (a, b):
-            h.pcie_write(ADDR, 0)
-            h.cpu_access(0, ADDR, True, 1)
-        a.invalidate(0, ADDR, 10)
+            pcie_write(h, ADDR, 0)
+            cpu_access(h, 0, ADDR, True, 1)
+        invalidate(a, 0, ADDR, 10)
         b.access(MemoryTransaction(INVALIDATE, ADDR, 10, core=0))
         assert a.stats.counters.snapshot() == b.stats.counters.snapshot()
         assert a.where(ADDR) == b.where(ADDR)
@@ -193,7 +194,7 @@ class TestDmaWriteHops:
 
     def test_mlc_invalidation_hop(self):
         h = make_hierarchy()
-        h.cpu_access(0, ADDR, False, 0)  # line lands in core 0's MLC
+        cpu_access(h, 0, ADDR, False, 0)  # line lands in core 0's MLC
         txn = MemoryTransaction(DMA_WRITE, ADDR, 5)
         h.access(txn)
         assert hops_of(txn)[0] == ("mlc", "inval")
@@ -218,7 +219,7 @@ class TestCpuPathHops:
 
     def test_hit_after_fill(self):
         h = make_hierarchy()
-        h.cpu_access(0, ADDR, False, 0)
+        cpu_access(h, 0, ADDR, False, 0)
         txn = cpu_access_txn(0, ADDR, False, 1)
         h.access(txn)
         assert txn.level == "mlc"

@@ -10,6 +10,7 @@ from repro.nic.dma import DMAEngine
 from repro.nic.tx import TxEngine, TxRing, TxRingFullError
 from repro.pcie.root_complex import RootComplex
 from repro.sim import Simulator, units
+from tests.memtxn import cpu_access, pcie_write
 
 
 def make_tx(size=4):
@@ -91,8 +92,8 @@ class TestTxEngine:
     def test_tx_pulls_mlc_lines_back_to_llc(self):
         """The egress payload reads invalidate MLC copies (Fig. 3 right)."""
         sim, h, ring, engine = make_tx()
-        h.pcie_write(0x100000, 0)
-        h.cpu_access(0, 0x100000, True, 0)  # dirty line in MLC
+        pcie_write(h, 0x100000, 0)
+        cpu_access(h, 0, 0x100000, True, 0)  # dirty line in MLC
         ring.post(0x100000, 64)
         engine.doorbell()
         sim.run(until=units.microseconds(10))

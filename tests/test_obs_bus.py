@@ -13,6 +13,7 @@ from repro.mem.transaction import PREFETCH_FILL, Hop
 from repro.obs import EventBus, TraceRecorder
 from repro.obs.events import LlcWritebackEvent, MlcWritebackEvent, PmdBatchEvent
 from repro.obs.trace import categorize, merge_latency_breakdowns
+from tests.memtxn import cpu_access, pcie_write
 
 
 class TestEventBus:
@@ -66,7 +67,7 @@ class TestHierarchyPublishing:
         h = MemoryHierarchy(HierarchyConfig(num_cores=1, l1_enabled=False))
         seen = []
         h.bus.subscribe(MemoryTransaction, seen.append)
-        h.cpu_access(0, 0x1000, False, 0)
+        cpu_access(h, 0, 0x1000, False, 0)
         assert len(seen) == 1 and seen[0].level == "dram"
 
 
@@ -96,7 +97,7 @@ class TestTraceRecorder:
     def test_attach_enables_hop_recording(self):
         h, rec = self.make()
         assert h.record_hops is True
-        h.pcie_write(0x1000, 0)
+        pcie_write(h, 0x1000, 0)
         assert rec.transactions == 1
         assert rec.category_counts.get("ddio-fill") == 1
 
@@ -104,7 +105,7 @@ class TestTraceRecorder:
         h, rec = self.make()
         rec.detach()
         assert h.record_hops is False
-        h.pcie_write(0x1000, 0)
+        pcie_write(h, 0x1000, 0)
         assert rec.transactions == 0
         rec.detach()  # second detach is a no-op
 
@@ -116,15 +117,15 @@ class TestTraceRecorder:
     def test_max_events_bounds_memory(self):
         h, rec = self.make(max_events=2)
         for i in range(5):
-            h.pcie_write(0x1000 + i * 64, i)
+            pcie_write(h, 0x1000 + i * 64, i)
         assert len(rec.trace_events) == 2
         assert rec.dropped_events == 3
         assert rec.transactions == 5  # accounting keeps going
 
     def test_chrome_trace_shape(self, tmp_path):
         h, rec = self.make()
-        h.pcie_write(0x1000, 0)
-        h.cpu_access(0, 0x1000, False, 10)
+        pcie_write(h, 0x1000, 0)
+        cpu_access(h, 0, 0x1000, False, 10)
         path = tmp_path / "trace.json"
         count = rec.export(str(path))
         doc = json.loads(path.read_text())
@@ -145,7 +146,7 @@ class TestTraceRecorder:
     def test_latency_breakdown(self):
         h, rec = self.make()
         assert rec.latency_breakdown_ns() == {}
-        h.cpu_access(0, 0x1000, False, 0)
+        cpu_access(h, 0, 0x1000, False, 0)
         breakdown = rec.latency_breakdown_ns()
         assert breakdown["mean_dram_ns"] > 0
         assert merge_latency_breakdowns({"x": 1.0}, rec)["x"] == 1.0

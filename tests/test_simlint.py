@@ -50,6 +50,7 @@ FIXTURE_CASES = [
     ("sim008_numpy.py", "SIM008", 3),
     ("sim009_rack_rng.py", "SIM009", 5),
     ("sim010_cache_write.py", "SIM010", 5),
+    ("sim016_tenant_rng.py", "SIM016", 5),
 ]
 
 
@@ -84,6 +85,27 @@ def test_sim010_clean_fixture_is_clean():
     """The clean half of the SIM010 pair: the atomic helper shape passes."""
     path = FIXTURES / "sim010_cache_write_clean.py"
     assert lint_file(str(path), module=_fixture_module(path)) == []
+
+
+def test_sim016_clean_fixture_is_clean():
+    """The clean half of the SIM016 pair: per-tenant streams pass."""
+    path = FIXTURES / "sim016_tenant_rng_clean.py"
+    assert lint_file(str(path), module=_fixture_module(path)) == []
+
+
+def test_sim016_scope_gating():
+    src = "import random\nx = random.Random(7)\n"
+    # A seeded module-level Random is fine outside the tenant tier ...
+    assert lint_source(src, "repro.harness.runner") == []
+    # ... but is one shared stream for every tenant inside it.
+    assert [v.rule for v in lint_source(src, "repro.tenants.sweep")] == ["SIM016"]
+    # Seeded, inside a function: the blessed per-tenant-stream shape.
+    good = (
+        "import random\n"
+        "def rng(seed, tenant):\n"
+        "    return random.Random(seed + tenant)\n"
+    )
+    assert lint_source(good, "repro.tenants.sweep") == []
 
 
 def test_sim010_scope_gating():

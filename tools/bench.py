@@ -26,7 +26,12 @@ multi-core matrix:
   reported but excluded from the ``--check`` gate;
 * ``rack_quick`` — a 4-server rack sweep (``repro.rack``) sharded over
   the warm pool, measuring the ToR steering + fold overhead on top of
-  the per-server experiments.
+  the per-server experiments;
+* ``tenants_quick`` — a 2-tenant noisy-neighbor isolation sweep
+  (``repro.tenants``) under DDIO and IOCA, gating the per-tenant
+  attribution hot path (address-range resolution + ``TenantDmaEvent``
+  publication on every inbound DMA write) and the IOCA epoch
+  controller.
 
 Results (wall seconds, simulated events/sec, peak RSS) are written to
 ``BENCH_<date>.json`` next to the repository root.  ``--check`` reruns
@@ -210,6 +215,53 @@ def _bench_rack_quick() -> dict:
     return row
 
 
+def _bench_tenants_quick() -> dict:
+    # The tenant tier's cost center is per-DMA attribution (address-range
+    # resolution + TenantDmaEvent publication) plus the IOCA epoch
+    # controller; a small matrix over the warm pool keeps the row fast
+    # while exercising both the shared-partition and partitioned paths.
+    from repro.core.policies import ddio, ioca  # noqa: E402
+    from repro.tenants.sweep import run_tenants  # noqa: E402
+
+    jobs = min(2, runner.default_jobs())
+    if jobs > 1:
+        runner.get_pool(jobs)
+    start = time.perf_counter()
+    summary = run_tenants(
+        policies=[ddio(), ioca()],
+        mix="noisy-neighbor",
+        tenants=2,
+        intensities=(0.25, 2.0),
+        duration_us=150.0,
+        jobs=jobs,
+    )
+    wall = time.perf_counter() - start
+    dispatch = dict(runner.last_dispatch)
+    completed = sum(
+        cell.stat(tenant, "completed")
+        for cell in summary.cells
+        for tenant in cell.tenant_stats
+    )
+    dma_writes = sum(
+        cell.stat(tenant, "dma_writes")
+        for cell in summary.cells
+        for tenant in cell.tenant_stats
+    )
+    row = {
+        "wall_seconds": wall,
+        "cells": len(summary.cells),
+        "completed_packets": int(completed),
+        "attributed_dma_writes": int(dma_writes),
+        "jobs": jobs,
+        "cpus": runner.default_jobs(),
+        "dispatch_mode": dispatch.get("mode"),
+        "chunksize": dispatch.get("chunksize"),
+        "fingerprint": summary.fingerprint,
+    }
+    runner.shutdown_pool()
+    return row
+
+
 def jobs_matrix() -> list[int]:
     """Worker counts measured per sweep workload: 1, 2, and all cores.
 
@@ -242,6 +294,7 @@ def workload_matrix(quick: bool = False) -> dict:
         workloads[f"fig10_quick_jobs{j}"] = _thunk
     workloads["fig10_quick_cached"] = _bench_fig10_quick_cached
     workloads["rack_quick"] = _bench_rack_quick
+    workloads["tenants_quick"] = _bench_tenants_quick
     return workloads
 
 

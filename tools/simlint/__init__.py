@@ -15,6 +15,7 @@ SIM007   tick-vs-wall-time suffix hygiene (``sim.units`` conventions)
 SIM008   numpy imports gated behind ``repro.mem._vec``
 SIM009   rack code draws from seeded per-server RNG streams
 SIM010   cache writes go through the atomic store helper
+SIM016   tenant code draws from seeded per-tenant RNG streams
 =======  ==============================================================
 
 **Whole-program rules** (module graph + call graph + taint dataflow,

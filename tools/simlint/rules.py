@@ -28,6 +28,7 @@ RULES: Dict[str, str] = {
     "SIM008": "unguarded top-level numpy import; route through repro.mem._vec",
     "SIM009": "shared or module-level RNG in rack/fleet code; use seeded per-server streams",
     "SIM010": "cache write outside the atomic store helper (repro.cache)",
+    "SIM016": "shared or module-level RNG in tenant code; use seeded per-tenant streams",
 }
 
 #: Packages whose modules count as simulation code (SIM001/002/003/007).
@@ -38,6 +39,14 @@ SIM_SCOPE = ("repro.sim", "repro.mem", "repro.core", "repro.nic", "repro.cpu", "
 #: from a seeded per-server stream (``repro.rack.server_rng``) — shared
 #: module-level RNG state silently decorrelates serial and sharded runs.
 RACK_SCOPE = ("repro.rack",)
+
+#: Packages whose modules count as tenant code (SIM016).  A tenant's
+#: stochastic draws (traffic shapes, antagonist walks) must come from a
+#: seeded per-tenant stream (``repro.tenants.tenant_rng``) so adding or
+#: reordering tenants never perturbs another tenant's arrivals; shared
+#: or module-level RNG state couples the tenants and breaks the
+#: serial-vs-pool fingerprint guarantee.
+TENANT_SCOPE = ("repro.tenants",)
 
 #: Packages whose modules count as result-cache code (SIM010).  The
 #: cache's correctness rests on readers never seeing a torn entry, so
@@ -135,6 +144,10 @@ def _in_rack_scope(module: str) -> bool:
     return any(module == p or module.startswith(p + ".") for p in RACK_SCOPE)
 
 
+def _in_tenant_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in TENANT_SCOPE)
+
+
 def _in_cache_scope(module: str) -> bool:
     return any(module == p or module.startswith(p + ".") for p in CACHE_SCOPE)
 
@@ -185,6 +198,7 @@ class _Checker(ast.NodeVisitor):
         self.violations: List[Violation] = []
         self.sim_scope = _in_sim_scope(module)
         self.rack_scope = _in_rack_scope(module)
+        self.tenant_scope = _in_tenant_scope(module)
         self.cache_scope = _in_cache_scope(module)
         self.slots_scope = module in SLOTS_MODULES
         self.wallclock_exempt = module in WALLCLOCK_EXEMPT
@@ -503,6 +517,8 @@ class _Checker(ast.NodeVisitor):
             self._check_randomness(node, func, name)
         if self.rack_scope:
             self._check_rack_randomness(node, func, name)
+        if self.tenant_scope:
+            self._check_tenant_randomness(node, func, name)
         if self.cache_scope:
             self._check_cache_write(node, func, name)
         if self.module.startswith("repro.") and not self.module.startswith("repro.mem"):
@@ -649,6 +665,73 @@ class _Checker(ast.NodeVisitor):
                         "SIM009",
                         f"module-level Random(...) is one shared stream "
                         f"for every server; {advice}",
+                    )
+
+    def _check_tenant_randomness(
+        self, node: ast.Call, func: ast.AST, name: Optional[str]
+    ) -> None:
+        """SIM016: tenant code must derive randomness per tenant, per seed.
+
+        Mirrors SIM009 for the tenant tier: module-global ``random.*()``
+        calls (one stream coupling every tenant), unseeded ``Random()``
+        construction, and module-level ``Random(seed)`` (a shared
+        instance every tenant would consume from) are all rejected.  The
+        blessed shape is a seeded ``Random`` built *inside* a function
+        from the sweep seed mixed with the tenant id
+        (``repro.tenants.tenant_rng``).
+        """
+        advice = (
+            "tenant code must draw from a seeded per-tenant stream "
+            "(see repro.tenants.tenant_rng)"
+        )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.random_aliases
+        ):
+            if name == "Random":
+                if not node.args and not node.keywords:
+                    self._emit(
+                        node, "SIM016", f"random.Random() without a seed; {advice}"
+                    )
+                elif self._function_depth == 0:
+                    self._emit(
+                        node,
+                        "SIM016",
+                        f"module-level random.Random(...) is one shared "
+                        f"stream for every tenant; {advice}",
+                    )
+            elif name == "SystemRandom":
+                self._emit(
+                    node, "SIM016", f"SystemRandom is inherently unseeded; {advice}"
+                )
+            else:
+                self._emit(
+                    node,
+                    "SIM016",
+                    f"module-global random.{name}() couples every tenant's "
+                    f"draws; {advice}",
+                )
+            return
+        if isinstance(func, ast.Name):
+            if func.id in self.random_func_names:
+                self._emit(
+                    node,
+                    "SIM016",
+                    f"module-global {func.id}() couples every tenant's "
+                    f"draws; {advice}",
+                )
+            elif func.id in self.random_class_names:
+                if not node.args and not node.keywords:
+                    self._emit(
+                        node, "SIM016", f"Random() without a seed; {advice}"
+                    )
+                elif self._function_depth == 0:
+                    self._emit(
+                        node,
+                        "SIM016",
+                        f"module-level Random(...) is one shared stream "
+                        f"for every tenant; {advice}",
                     )
 
     def _check_cache_write(
